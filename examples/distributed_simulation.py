@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Distributed interactive simulation (DIS) over CBT — churn + streams.
+
+The CBT papers repeatedly cite distributed interactive simulation as a
+driving workload: hundreds of entities, many simultaneous low-rate
+senders, and constant membership churn as entities move between
+exercise "cells" (multicast groups).
+
+This example runs a two-cell exercise on a transit-stub topology:
+
+* each cell is one multicast group with its own core;
+* entities stream state updates (sequenced packets) into their cell;
+* midway, several entities migrate from cell 1 to cell 2 — leave one
+  group, join the other — while everyone keeps transmitting;
+* at the end we verify reception quality per entity (loss/dup/reorder)
+  and show what the churn cost the control plane.
+
+Run:  python examples/distributed_simulation.py
+"""
+
+from repro import CBTDomain, group_address
+from repro.analysis import control_census, render_tree
+from repro.app import MulticastReceiver, MulticastSender
+from repro.harness.formatting import format_table
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
+from repro.topology.generators import transit_stub_network
+
+ENTITIES_PER_CELL = 4
+STREAM_INTERVAL = 0.2
+MIGRATION_COUNT = 2
+
+
+def main() -> None:
+    net = transit_stub_network(transit_n=3, stubs_per_transit=2, stub_size=3, seed=5)
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    cells = [group_address(0), group_address(1)]
+    domain.create_group(cells[0], cores=["T0"])
+    domain.create_group(cells[1], cores=["T1"])
+    domain.start()
+    net.run(until=3.0)
+
+    hosts = sorted(net.hosts)
+    cell_members = {
+        0: hosts[:ENTITIES_PER_CELL],
+        1: hosts[ENTITIES_PER_CELL : 2 * ENTITIES_PER_CELL],
+    }
+    print("cell 1 entities:", ", ".join(cell_members[0]))
+    print("cell 2 entities:", ", ".join(cell_members[1]))
+
+    receivers = {}
+    senders = {}
+    for cell, members in cell_members.items():
+        for name in members:
+            receiver = MulticastReceiver(
+                net.host(name), domain.agent(name), cells[cell]
+            )
+            receiver.join(cores=domain.coordinator.cores_for(cells[cell]))
+            receivers[name] = receiver
+            senders[name] = MulticastSender(
+                net.host(name), cells[cell], stream_id=name
+            )
+    net.run(until=6.0)
+
+    print("\ncell 1 tree:")
+    print(render_tree(domain, cells[0]))
+
+    # Phase 1: everyone streams for 5 simulated seconds.
+    for sender in senders.values():
+        sender.start_stream(STREAM_INTERVAL)
+    net.run(until=net.scheduler.now + 5.0)
+
+    # Phase 2: migration — the first entities of cell 1 move to cell 2.
+    migrants = cell_members[0][:MIGRATION_COUNT]
+    print(f"\nmigrating to cell 2: {', '.join(migrants)}")
+    for name in migrants:
+        senders[name].stop_stream()
+        receivers[name].leave()
+        receivers[name] = MulticastReceiver(
+            net.host(name), domain.agent(name), cells[1]
+        )
+        receivers[name].join(cores=domain.coordinator.cores_for(cells[1]))
+        senders[name] = MulticastSender(net.host(name), cells[1], stream_id=name)
+    net.run(until=net.scheduler.now + 2.0)
+    for name in migrants:
+        senders[name].start_stream(STREAM_INTERVAL)
+    net.run(until=net.scheduler.now + 5.0)
+    for sender in senders.values():
+        sender.stop_stream()
+    net.run(until=net.scheduler.now + 3.0)
+
+    # Reception quality: post-migration cell-2 members hear migrants.
+    rows = []
+    final_cell2 = cell_members[1] + migrants
+    for listener in cell_members[1]:
+        for speaker in migrants:
+            stats = receivers[listener].stats_for(speaker)
+            rows.append(
+                (
+                    listener,
+                    speaker,
+                    stats.received,
+                    stats.duplicates,
+                    stats.reordered,
+                    f"{stats.mean_latency * 1000:.2f}",
+                )
+            )
+    print()
+    print(
+        format_table(
+            ["listener", "migrant speaker", "rx", "dup", "reorder", "mean ms"],
+            rows,
+            title="post-migration reception of migrant streams in cell 2",
+        )
+    )
+
+    print()
+    print(control_census(domain))
+    print(
+        "\n=> migration cost a handful of quit/join exchanges; the "
+        "streams themselves never touched off-tree routers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Interoperability: a CBT cloud talking to a flood-and-prune cloud (§10).
+
+The spec leaves the "CBT-other" interface as future work; this example
+demonstrates the natural design: a dual-homed bridge that looks like a
+plain group member to each side, so neither protocol changes.
+
+Topology:
+
+    MA -- C3 -- C2 -- C1 (primary core)      D1 -- D2 -- MB
+                 |                            |
+               LAN_A ======[ bridge ]====== LAN_B
+               (CBT cloud)              (DVMRP cloud)
+
+Run:  python examples/interop_gateway.py
+"""
+
+from repro import CBTDomain, group_address
+from repro.analysis import render_tree
+from repro.app import MulticastReceiver, MulticastSender
+from repro.baselines.dvmrp import DVMRPDomain
+from repro.harness.formatting import format_table
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
+from repro.interop.bridge import MulticastBridge
+from repro.topology.builder import Network
+
+
+def main() -> None:
+    net = Network()
+    c1, c2, c3 = (net.add_router(n) for n in ("C1", "C2", "C3"))
+    d1, d2 = (net.add_router(n) for n in ("D1", "D2"))
+    net.add_p2p("c12", c1, c2)
+    net.add_p2p("c23", c2, c3)
+    net.add_p2p("d12", d1, d2)
+    lan_ma = net.add_subnet("lan_ma", [c3])
+    lan_mb = net.add_subnet("lan_mb", [d2])
+    lan_a = net.add_subnet("lan_a", [c2])
+    lan_b = net.add_subnet("lan_b", [d1])
+    ma = net.add_host("MA", lan_ma)
+    mb = net.add_host("MB", lan_mb)
+    net.converge()
+
+    bridge = MulticastBridge("bridge", net.scheduler)
+    net.attach(bridge, lan_a)
+    net.attach(bridge, lan_b)
+
+    cbt = CBTDomain(
+        net,
+        timers=FAST_TIMERS,
+        igmp_config=FAST_IGMP,
+        cbt_routers=["C1", "C2", "C3"],
+        hosts=["MA"],
+    )
+    dvmrp = DVMRPDomain(
+        net,
+        prune_lifetime=300.0,
+        igmp_config=FAST_IGMP,
+        routers=["D1", "D2"],
+        hosts=["MB"],
+    )
+    group = group_address(0)
+    cores = cbt.create_group(group, cores=["C1"])
+    cbt.start()
+    dvmrp.start()
+    net.run(until=3.0)
+
+    print("bridging group", group, "with CBT core C1")
+    bridge.bridge_group(group, cores=cores)
+    cbt.join_host("MA", group)
+    dvmrp.join_host("MB", group)
+    receiver_ma = MulticastReceiver(ma, cbt.host_agents["MA"], group)
+    receiver_mb = MulticastReceiver(mb, dvmrp.host_agents["MB"], group)
+    net.run(until=8.0)
+
+    print("\nCBT-side tree (note the bridge LAN's router C2 is a leaf):")
+    print(render_tree(cbt, group))
+
+    print("\nMA (CBT cloud) and MB (DVMRP cloud) each send 5 packets...")
+    sender_a = MulticastSender(net.host("MA"), group, stream_id="MA")
+    sender_b = MulticastSender(net.host("MB"), group, stream_id="MB")
+    sender_a.send(5)
+    sender_b.send(5)
+    net.run(until=net.scheduler.now + 3.0)
+
+    stats_ab = receiver_mb.stats_for("MA")
+    stats_ba = receiver_ma.stats_for("MB")
+    print()
+    print(
+        format_table(
+            ["direction", "delivered", "dup", "mean latency ms"],
+            [
+                [
+                    "CBT -> DVMRP (MA to MB)",
+                    f"{stats_ab.received}/5",
+                    stats_ab.duplicates,
+                    f"{stats_ab.mean_latency * 1000:.1f}",
+                ],
+                [
+                    "DVMRP -> CBT (MB to MA)",
+                    f"{stats_ba.received}/5",
+                    stats_ba.duplicates,
+                    f"{stats_ba.mean_latency * 1000:.1f}",
+                ],
+            ],
+            title="cross-cloud delivery",
+        )
+    )
+    print(
+        f"\nbridge relayed {bridge.relayed_a_to_b} packets CBT->DVMRP, "
+        f"{bridge.relayed_b_to_a} DVMRP->CBT, suppressed {bridge.suppressed} loops"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables offline editable installs on environments whose
+setuptools predates PEP 660 wheel-less editable support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""Core Based Trees (CBT) multicast — a full reproduction.
+
+Implements the CBT multicast protocol (Ballardie et al.,
+draft-ietf-idmr-cbt-spec / SIGCOMM'93) on top of a deterministic
+discrete-event network simulator, together with the baselines
+(DVMRP-style flood-and-prune, per-source shortest-path trees, Steiner
+heuristic) and the metrics needed to reproduce the paper's evaluation.
+
+Quick start::
+
+    from repro import CBTDomain, build_figure1, group_address
+
+    net = build_figure1()
+    domain = CBTDomain(net)
+    group = group_address(0)
+    domain.create_group(group, cores=["R4", "R9"])
+    domain.start()
+    net.run(until=3.0)
+    domain.join_host("A", group)
+    net.run(until=6.0)
+    assert domain.protocol("R1").is_on_tree(group)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    CBTControlMessage,
+    CBTDataPacket,
+    CBTProtocol,
+    CBTTimers,
+    FIB,
+    FIBEntry,
+    GroupCoordinator,
+    JoinAckSubcode,
+    JoinSubcode,
+    MessageType,
+)
+from repro.app import MulticastReceiver, MulticastSender
+from repro.core.audit import audit_domain
+from repro.core.bootstrap import CBTDomain
+from repro.baselines import (
+    DVMRPDomain,
+    DVMRPProtocol,
+    kmb_steiner_tree,
+    pim_sm_model,
+    shared_tree,
+    shortest_path_tree,
+)
+from repro.interop import MulticastBridge
+from repro.netsim.address import group_address
+from repro.topology import (
+    Network,
+    build_figure1,
+    build_figure5_loop,
+    waxman_network,
+)
+from repro.topology.graph import Graph, Tree
+from repro.topology.generators import realise, waxman_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CBTControlMessage",
+    "CBTDataPacket",
+    "CBTDomain",
+    "CBTProtocol",
+    "CBTTimers",
+    "DVMRPDomain",
+    "DVMRPProtocol",
+    "FIB",
+    "FIBEntry",
+    "Graph",
+    "GroupCoordinator",
+    "JoinAckSubcode",
+    "JoinSubcode",
+    "MessageType",
+    "MulticastBridge",
+    "MulticastReceiver",
+    "MulticastSender",
+    "Network",
+    "Tree",
+    "audit_domain",
+    "pim_sm_model",
+    "build_figure1",
+    "build_figure5_loop",
+    "group_address",
+    "kmb_steiner_tree",
+    "realise",
+    "shared_tree",
+    "shortest_path_tree",
+    "waxman_graph",
+    "waxman_network",
+]

@@ -1,0 +1,25 @@
+"""Inspection and reporting tools.
+
+Turns protocol state and packet traces into human-readable artefacts:
+
+* :func:`render_tree` — ASCII rendering of a group's delivery tree;
+* :func:`render_topology` — inventory of a simulated network;
+* :func:`event_timeline` — merged, chronological protocol event log;
+* :func:`control_census` — per-router control-message table;
+* :func:`trace_summary` — per-link / per-protocol transmission counts.
+
+Used by the examples and the CLI; all functions return strings.
+"""
+
+from repro.analysis.render import render_topology, render_tree
+from repro.analysis.timeline import control_census, event_timeline
+from repro.analysis.inspect import packet_log, trace_summary
+
+__all__ = [
+    "control_census",
+    "event_timeline",
+    "packet_log",
+    "render_topology",
+    "render_tree",
+    "trace_summary",
+]

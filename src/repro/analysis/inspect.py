@@ -1,0 +1,106 @@
+"""Packet-trace summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.harness.formatting import format_table
+from repro.netsim.packet import (
+    PROTO_CBT,
+    PROTO_IGMP,
+    PROTO_IPIP,
+    PROTO_UDP,
+)
+from repro.netsim.trace import PacketTrace
+
+_PROTO_NAMES = {
+    PROTO_IGMP: "igmp",
+    PROTO_IPIP: "ipip",
+    PROTO_UDP: "udp",
+    PROTO_CBT: "cbt",
+}
+
+
+def packet_log(
+    trace: PacketTrace,
+    kinds=("tx",),
+    protos=None,
+    limit: int = 100,
+) -> str:
+    """Human-readable tcpdump-style listing of trace records.
+
+    One line per record: time, kind, link, node, protocol, src > dst,
+    TTL, size, and the drop note where present.
+    """
+    lines: List[str] = []
+    shown = 0
+    total = 0
+    for record in trace:
+        if record.kind not in kinds:
+            continue
+        if protos is not None and record.datagram.proto not in protos:
+            continue
+        total += 1
+        if shown >= limit:
+            continue
+        shown += 1
+        d = record.datagram
+        proto = _PROTO_NAMES.get(d.proto, str(d.proto))
+        note = f"  ({record.note})" if record.note else ""
+        lines.append(
+            f"{record.time:10.4f}s {record.kind:4s} {record.link_name:12s} "
+            f"{record.node_name:10s} {proto:5s} {d.src} > {d.dst} "
+            f"ttl={d.ttl} len={d.size_bytes()}{note}"
+        )
+    if total > shown:
+        lines.append(f"... {total - shown} more records")
+    if not lines:
+        lines.append("(no matching records)")
+    return "\n".join(lines)
+
+
+def trace_summary(trace: PacketTrace, top_links: int = 10) -> str:
+    """Per-protocol and per-link transmission counts plus drop census."""
+    by_proto: Dict[str, int] = {}
+    bytes_by_proto: Dict[str, int] = {}
+    for record in trace.transmissions():
+        name = _PROTO_NAMES.get(record.datagram.proto, str(record.datagram.proto))
+        by_proto[name] = by_proto.get(name, 0) + 1
+        bytes_by_proto[name] = (
+            bytes_by_proto.get(name, 0) + record.datagram.size_bytes()
+        )
+    proto_rows = [
+        (name, by_proto[name], bytes_by_proto[name])
+        for name in sorted(by_proto, key=lambda n: -by_proto[n])
+    ]
+    sections: List[str] = [
+        format_table(
+            ["protocol", "transmissions", "bytes"],
+            proto_rows,
+            title="transmissions by protocol",
+        )
+    ]
+
+    link_counts = trace.link_tx_counts()
+    busiest = sorted(link_counts.items(), key=lambda kv: -kv[1])[:top_links]
+    sections.append(
+        format_table(
+            ["link", "transmissions"],
+            busiest,
+            title=f"busiest links (top {len(busiest)})",
+        )
+    )
+
+    drops: Dict[str, int] = {}
+    for record in trace.drops():
+        reason = record.note or "unspecified"
+        drops[reason] = drops.get(reason, 0) + 1
+    if drops:
+        sections.append(
+            format_table(
+                ["drop reason", "count"],
+                sorted(drops.items(), key=lambda kv: -kv[1]),
+                title="drops",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,65 @@
+"""Protocol event timelines and control-message censuses."""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import List, Optional
+
+from repro.harness.formatting import format_table
+
+
+def event_timeline(
+    domain,
+    group: Optional[IPv4Address] = None,
+    kinds: Optional[set] = None,
+    limit: int = 200,
+) -> str:
+    """Chronological merge of every router's protocol events.
+
+    Filter by ``group`` and/or event ``kinds``; long timelines are
+    truncated to ``limit`` lines with a trailing note.
+    """
+    merged = []
+    for name, protocol in domain.protocols.items():
+        for event in protocol.events:
+            if group is not None and event.group != group:
+                continue
+            if kinds is not None and event.kind not in kinds:
+                continue
+            merged.append((event.time, name, event))
+    merged.sort(key=lambda item: (item[0], item[1]))
+    lines: List[str] = []
+    for time, name, event in merged[:limit]:
+        detail = f"  {event.detail}" if event.detail else ""
+        lines.append(f"t={time:8.3f}s  {name:8s} {event.kind}{detail}")
+    if len(merged) > limit:
+        lines.append(f"... {len(merged) - limit} more events")
+    if not lines:
+        lines.append("(no events)")
+    return "\n".join(lines)
+
+
+def control_census(domain, exclude_hello: bool = True) -> str:
+    """Per-router table of control messages sent, by type."""
+    types: List[str] = sorted(
+        {
+            name
+            for protocol in domain.protocols.values()
+            for name in protocol.stats.sent
+            if not (exclude_hello and name == "HELLO")
+        }
+    )
+    rows = []
+    totals = [0] * len(types)
+    for name in sorted(domain.protocols):
+        stats = domain.protocols[name].stats
+        counts = [stats.sent.get(t, 0) for t in types]
+        if any(counts):
+            rows.append([name] + counts)
+            totals = [a + b for a, b in zip(totals, counts)]
+    rows.append(["TOTAL"] + totals)
+    return format_table(
+        ["router"] + [t.lower() for t in types],
+        rows,
+        title="control messages sent",
+    )

@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``walkthrough``  — replay the spec's Figure-1 story with rendered
+  trees and an event timeline;
+* ``loop``         — replay the Figure-5 rejoin-loop episode (§6.3);
+* ``compare``      — CBT vs DVMRP state/overhead on a random topology;
+* ``topology``     — generate a topology, build a group, show the tree;
+* ``experiments``  — list the experiment index (benchmarks).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import CBTDomain, build_figure1, build_figure5_loop, group_address
+from repro.analysis import (
+    control_census,
+    event_timeline,
+    render_topology,
+    render_tree,
+)
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+
+EXPERIMENTS = [
+    ("E1", "bench_state_scaling.py", "router state: CBT O(G) vs DVMRP O(S*G)"),
+    ("E2", "bench_control_overhead.py", "control + off-tree data overhead"),
+    ("E3", "bench_tree_cost.py", "tree cost vs group size"),
+    ("E4", "bench_delay_stretch.py", "delay stretch vs core placement"),
+    ("E5", "bench_traffic_concentration.py", "traffic concentration vs senders"),
+    ("E6a", "bench_join_latency.py", "join latency vs hop distance"),
+    ("E6b", "bench_failure_recovery.py", "failure recovery vs §9 timers"),
+    ("E7", "bench_figure1_trace.py", "Figure-1 walk-through milestones"),
+    ("E8", "bench_loop_detection.py", "rejoin loop detection (§6.3)"),
+    ("E9", "bench_codec.py", "wire-format codecs (§8)"),
+    ("E10", "bench_forwarding.py", "native vs CBT forwarding modes"),
+    ("E11", "bench_keepalive.py", "echo aggregation ablation (§8.4)"),
+    ("E12", "bench_churn.py", "control traffic under membership churn"),
+    ("E13", "bench_packet_stretch.py", "packet-level vs model delay stretch"),
+    ("E14", "bench_scale.py", "scale sweep: 25-200 routers"),
+    ("E15", "bench_interop.py", "CBT <-> DVMRP bridge (§10)"),
+    ("E16", "bench_core_redundancy.py", "core redundancy ablation"),
+    ("E17", "bench_pim_comparison.py", "CBT vs PIM-SM (RP tree / SPT switchover)"),
+    ("E18", "bench_legacy_join.py", "draft-02 vs draft-03 join procedure"),
+]
+
+
+def cmd_walkthrough(args: argparse.Namespace) -> int:
+    from repro.topology.figures import FIGURE1_MEMBERS
+
+    net = build_figure1()
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    group = group_address(0)
+    domain.create_group(group, cores=["R4", "R9"])
+    domain.start()
+    net.run(until=3.0)
+    members = FIGURE1_MEMBERS if args.all_members else ["A", "B", "G", "H"]
+    start = net.scheduler.now
+    for index, member in enumerate(members):
+        net.scheduler.call_at(
+            start + 0.05 * index,
+            (lambda m: (lambda: domain.join_host(m, group)))(member),
+        )
+    net.run(until=start + 4.0)
+    print(render_topology(net))
+    print()
+    print(render_tree(domain, group))
+    uid = send_data(net, members[-1], group, count=1)[0]
+    delivered = sum(
+        1
+        for member in members
+        if any(d.uid == uid for d in net.host(member).delivered)
+    )
+    print(
+        f"\ndata from {members[-1]}: delivered to {delivered}/{len(members) - 1} "
+        "other members"
+    )
+    print()
+    print(control_census(domain))
+    from repro.core.audit import audit_domain
+
+    findings = audit_domain(domain)
+    if findings:
+        print("\naudit findings:")
+        for finding in findings:
+            print(f"  {finding}")
+    else:
+        print("\naudit: clean (no invariant violations, no smells)")
+    if args.timeline:
+        print()
+        print(event_timeline(domain, group=group))
+    return 0
+
+
+def cmd_loop(args: argparse.Namespace) -> int:
+    fig = build_figure5_loop()
+    net = fig.network
+    fig.isolate_chain()
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    group = group_address(0)
+    domain.create_group(group, cores=["R1"])
+    domain.start()
+    net.run(until=3.0)
+    for index, member in enumerate(["HM3", "HM4", "HM5"]):
+        net.scheduler.call_at(
+            3.0 + 0.1 * index,
+            (lambda m: (lambda: domain.join_host(m, group)))(member),
+        )
+    net.run(until=8.0)
+    print("tree built along the chain:")
+    print(render_tree(domain, group))
+    fig.restore_shortcuts()
+    net.run(until=10.0)
+    fig.fail_parent_link()
+    net.run(until=250.0)
+    print("\nafter R2-R3 failure, loop detection, and re-homing:")
+    print(render_tree(domain, group))
+    print()
+    print(
+        event_timeline(
+            domain,
+            group=group,
+            kinds={"parent_lost", "loop_detected", "gave_up", "rejoined", "flushed", "joined"},
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.harness.formatting import format_table
+    from repro.harness.scenarios import (
+        build_cbt_group,
+        build_dvmrp_group,
+        pick_members,
+    )
+    from repro.metrics.state import cbt_entry_census, dvmrp_entry_census
+    from repro.topology.generators import waxman_network
+
+    def one_side(kind: str):
+        net = waxman_network(args.size, seed=args.seed)
+        members = pick_members(net, args.members, seed=args.seed)
+        if kind == "cbt":
+            domain, group = build_cbt_group(net, members, cores=["N0"])
+            control = domain.control_messages_sent()
+        else:
+            domain, group = build_dvmrp_group(net, members, prune_lifetime=300.0)
+            control = domain.control_messages()
+        for sender in members[: args.senders]:
+            send_data(net, sender, group, count=1)
+        return domain, control
+
+    cbt_domain, cbt_control = one_side("cbt")
+    dvmrp_domain, dvmrp_control = one_side("dvmrp")
+    cbt_census = cbt_entry_census(cbt_domain)
+    dvmrp_census = dvmrp_entry_census(dvmrp_domain)
+    print(
+        format_table(
+            ["metric", "CBT", "DVMRP"],
+            [
+                [
+                    "routers holding state",
+                    f"{cbt_census.routers_with_state}/{args.size}",
+                    f"{dvmrp_census.routers_with_state}/{args.size}",
+                ],
+                ["table entries", cbt_census.total, dvmrp_census.total],
+                ["control messages", cbt_control, dvmrp_control],
+            ],
+            title=(
+                f"{args.members} members, {args.senders} senders, "
+                f"Waxman n={args.size} seed={args.seed}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    from repro.harness.scenarios import build_cbt_group, pick_members
+    from repro.topology.generators import (
+        barabasi_albert_network,
+        grid_network,
+        transit_stub_network,
+        waxman_network,
+    )
+
+    builders = {
+        "waxman": lambda: waxman_network(args.size, seed=args.seed),
+        "ba": lambda: barabasi_albert_network(args.size, seed=args.seed),
+        "grid": lambda: grid_network(
+            max(2, int(args.size ** 0.5)), max(2, int(args.size ** 0.5))
+        ),
+        "transit-stub": lambda: transit_stub_network(seed=args.seed),
+        "figure1": build_figure1,
+    }
+    net = builders[args.kind]()
+    print(render_topology(net))
+    if args.kind == "figure1":
+        return 0
+    members = pick_members(net, min(args.members, len(net.hosts)), seed=args.seed)
+    core = sorted(net.routers)[0]
+    domain, group = build_cbt_group(net, members, cores=[core])
+    print()
+    print(render_tree(domain, group))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    print("experiment index (run with: pytest benchmarks/<file> --benchmark-only -s)")
+    for exp_id, bench, title in EXPERIMENTS:
+        print(f"  {exp_id:4s} {bench:32s} {title}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import build_report, write_report
+
+    if args.output:
+        write_report(args.results_dir, args.output)
+        print(f"report written to {args.output}")
+    else:
+        print(build_report(args.results_dir))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Core Based Trees (CBT) multicast reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    walkthrough = sub.add_parser(
+        "walkthrough", help="replay the spec's Figure-1 story"
+    )
+    walkthrough.add_argument(
+        "--all-members", action="store_true", help="join every Figure-1 host"
+    )
+    walkthrough.add_argument(
+        "--timeline", action="store_true", help="print the event timeline"
+    )
+    walkthrough.set_defaults(func=cmd_walkthrough)
+
+    loop = sub.add_parser("loop", help="replay the Figure-5 rejoin loop (§6.3)")
+    loop.set_defaults(func=cmd_loop)
+
+    compare = sub.add_parser("compare", help="CBT vs DVMRP on a random topology")
+    compare.add_argument("--size", type=int, default=24)
+    compare.add_argument("--members", type=int, default=5)
+    compare.add_argument("--senders", type=int, default=3)
+    compare.add_argument("--seed", type=int, default=7)
+    compare.set_defaults(func=cmd_compare)
+
+    topology = sub.add_parser("topology", help="generate and display a topology")
+    topology.add_argument(
+        "--kind",
+        choices=["waxman", "ba", "grid", "transit-stub", "figure1"],
+        default="waxman",
+    )
+    topology.add_argument("--size", type=int, default=16)
+    topology.add_argument("--members", type=int, default=4)
+    topology.add_argument("--seed", type=int, default=0)
+    topology.set_defaults(func=cmd_topology)
+
+    experiments = sub.add_parser("experiments", help="list the experiment index")
+    experiments.set_defaults(func=cmd_experiments)
+
+    report = sub.add_parser(
+        "report", help="assemble benchmark artefacts into one markdown report"
+    )
+    report.add_argument(
+        "--results-dir", default="benchmarks/results", help="artefact directory"
+    )
+    report.add_argument("--output", help="write to file instead of stdout")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Domain auditing: a protocol ``fsck`` for CBT deployments.
+
+``audit_domain`` sweeps every router and reports findings — conditions
+that are either invariant violations (parent/child disagreement, tree
+loops) or operational smells (stale pending joins, stranded member
+LANs, double-served LANs).  Tests use it as a one-call health check;
+operators would run it from the CLI after incidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One audit observation."""
+
+    severity: str  # "error" (invariant broken) or "warning" (smell)
+    router: str
+    group: Optional[IPv4Address]
+    message: str
+
+    def __str__(self) -> str:
+        group = f" group={self.group}" if self.group is not None else ""
+        return f"[{self.severity}] {self.router}{group}: {self.message}"
+
+
+def audit_domain(domain, now: Optional[float] = None) -> List[Finding]:
+    """Audit every group on every router of a CBT domain."""
+    findings: List[Finding] = []
+    address_owner: Dict[IPv4Address, str] = {}
+    for name, protocol in domain.protocols.items():
+        for interface in protocol.router.interfaces:
+            address_owner[interface.address] = name
+    if now is None:
+        now = domain.network.scheduler.now
+
+    findings.extend(_check_relationships(domain, address_owner))
+    findings.extend(_check_loops(domain, address_owner))
+    findings.extend(_check_transients(domain, now))
+    findings.extend(_check_lan_service(domain))
+    return findings
+
+
+def _check_relationships(domain, address_owner) -> List[Finding]:
+    out: List[Finding] = []
+    for name, protocol in domain.protocols.items():
+        for entry in protocol.fib:
+            if entry.has_parent:
+                parent_name = address_owner.get(entry.parent_address)
+                if parent_name is None:
+                    out.append(
+                        Finding(
+                            "error",
+                            name,
+                            entry.group,
+                            f"parent {entry.parent_address} is not a known CBT router",
+                        )
+                    )
+                    continue
+                parent_entry = domain.protocols[parent_name].fib.get(entry.group)
+                my_addresses = {
+                    i.address for i in protocol.router.interfaces
+                }
+                if parent_entry is None or not (
+                    my_addresses & set(parent_entry.children)
+                ):
+                    out.append(
+                        Finding(
+                            "error",
+                            name,
+                            entry.group,
+                            f"parent {parent_name} does not list this router as a child",
+                        )
+                    )
+            for child_address in entry.children:
+                child_name = address_owner.get(child_address)
+                if child_name is None:
+                    out.append(
+                        Finding(
+                            "error",
+                            name,
+                            entry.group,
+                            f"child {child_address} is not a known CBT router",
+                        )
+                    )
+                    continue
+                child_entry = domain.protocols[child_name].fib.get(entry.group)
+                if child_entry is None:
+                    out.append(
+                        Finding(
+                            "warning",
+                            name,
+                            entry.group,
+                            f"child {child_name} holds no state for the group "
+                            "(stale child; CHILD-ASSERT will expire it)",
+                        )
+                    )
+    return out
+
+
+def _check_loops(domain, address_owner) -> List[Finding]:
+    out: List[Finding] = []
+    groups = {
+        entry.group
+        for protocol in domain.protocols.values()
+        for entry in protocol.fib
+    }
+    for group in groups:
+        for start in domain.protocols:
+            seen = set()
+            current = start
+            while current is not None and current not in seen:
+                seen.add(current)
+                entry = domain.protocols[current].fib.get(group)
+                if entry is None or not entry.has_parent:
+                    current = None
+                else:
+                    current = address_owner.get(entry.parent_address)
+            if current is not None:
+                out.append(
+                    Finding(
+                        "error",
+                        current,
+                        group,
+                        "parent pointers form a loop",
+                    )
+                )
+                break
+    return out
+
+
+def _check_transients(domain, now: float) -> List[Finding]:
+    out: List[Finding] = []
+    for name, protocol in domain.protocols.items():
+        for group, pend in protocol.pending.items():
+            age = now - pend.created_at
+            if age > protocol.timers.expire_pending_join:
+                out.append(
+                    Finding(
+                        "warning",
+                        name,
+                        group,
+                        f"pending join is {age:.1f}s old "
+                        "(exceeds EXPIRE-PENDING-JOIN)",
+                    )
+                )
+        for group in protocol._quitting:
+            out.append(
+                Finding("warning", name, group, "quit still outstanding")
+            )
+    return out
+
+
+def _check_lan_service(domain) -> List[Finding]:
+    """Member LANs should be served by exactly one attached on-tree
+    router (the G-DR property of §2.6)."""
+    out: List[Finding] = []
+    # link network -> group -> [router names on-tree attached]
+    service: Dict = {}
+    membership: Dict = {}
+    for name, protocol in domain.protocols.items():
+        for interface in protocol.router.interfaces:
+            for group in protocol.igmp.database.groups_on(interface):
+                membership.setdefault((interface.network, group), set()).add(name)
+                if protocol.fib.get(group) is not None:
+                    service.setdefault((interface.network, group), []).append(name)
+    for (network, group), routers in membership.items():
+        servers = service.get((network, group), [])
+        if len(servers) > 1:
+            out.append(
+                Finding(
+                    "warning",
+                    ",".join(sorted(servers)),
+                    group,
+                    f"member LAN {network} served by multiple on-tree routers "
+                    "(duplicate delivery risk)",
+                )
+            )
+        elif not servers:
+            out.append(
+                Finding(
+                    "warning",
+                    ",".join(sorted(routers)),
+                    group,
+                    f"member LAN {network} has group members but no "
+                    "attached on-tree router",
+                )
+            )
+    return out
+
+
+def errors(findings: List[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity == "error"]
+
+
+def warnings(findings: List[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity == "warning"]

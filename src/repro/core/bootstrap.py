@@ -1,0 +1,217 @@
+"""Group initiation and the <core, group> advertisement mechanism.
+
+The spec deliberately externalises core management (§1, §2.1): "a
+group's initiator elects a small number of candidate cores (which may
+be advertised by some means)".  :class:`GroupCoordinator` is that
+means in the simulator — it plays the role of the "core distribution
+engine" / network-management facility: it records which routers are
+the cores of each group and answers lookups from hosts (so they can
+issue IGMP RP/Core-Reports) and from DRs that need a mapping for
+non-member senders.
+
+:class:`CBTDomain` is the assembly convenience used by examples,
+tests, and benchmarks: it instantiates IGMP + CBT on every router of a
+:class:`repro.topology.builder.Network` and wires host agents.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.router import CBTProtocol
+from repro.core.timers import CBTTimers, DEFAULT_TIMERS
+from repro.igmp.host import IGMPHostAgent
+from repro.igmp.router_side import IGMPConfig
+from repro.routing.table import Host, Router
+from repro.topology.builder import Network
+
+CoreSpec = Union[Router, IPv4Address, str]
+
+
+class GroupCoordinator:
+    """Stands in for the external core advertisement protocol."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[IPv4Address, Tuple[IPv4Address, ...]] = {}
+        self._protocols: List[CBTProtocol] = []
+
+    def register(self, protocol: CBTProtocol) -> None:
+        self._protocols.append(protocol)
+
+    def create_group(
+        self, group: IPv4Address, cores: Sequence[IPv4Address]
+    ) -> Tuple[IPv4Address, ...]:
+        """Record the ordered core list (primary first) for ``group``."""
+        if not cores:
+            raise ValueError("a group needs at least one core")
+        ordered = tuple(cores)
+        self._groups[group] = ordered
+        return ordered
+
+    def cores_for(self, group: IPv4Address) -> Tuple[IPv4Address, ...]:
+        return self._groups.get(group, ())
+
+    def groups(self) -> List[IPv4Address]:
+        return sorted(self._groups, key=int)
+
+
+class CBTDomain:
+    """A Network in which every router speaks CBT.
+
+    Usage::
+
+        net = build_figure1()
+        domain = CBTDomain(net, mode="cbt")
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()                      # start IGMP + CBT everywhere
+        net.run(until=5.0)                  # let elections settle
+        domain.join_host("A", group)        # triggers the CBT join
+        net.run(until=10.0)
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        timers: CBTTimers = DEFAULT_TIMERS,
+        mode: str = "cbt",
+        igmp_config: Optional[IGMPConfig] = None,
+        use_cbt_multicast: bool = False,
+        aggregate_echoes: bool = False,
+        enable_proxy_ack: bool = True,
+        wire_format: bool = False,
+        cbt_routers: Optional[Sequence[str]] = None,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.network = network
+        self.coordinator = GroupCoordinator()
+        self.protocols: Dict[str, CBTProtocol] = {}
+        self.host_agents: Dict[str, IGMPHostAgent] = {}
+        names = (
+            list(cbt_routers) if cbt_routers is not None else list(network.routers)
+        )
+        host_names = list(hosts) if hosts is not None else list(network.hosts)
+        for name in names:
+            router = network.router(name)
+            self.protocols[name] = CBTProtocol(
+                router,
+                timers=timers,
+                mode=mode,
+                coordinator=self.coordinator,
+                igmp_config=igmp_config,
+                use_cbt_multicast=use_cbt_multicast,
+                aggregate_echoes=aggregate_echoes,
+                enable_proxy_ack=enable_proxy_ack,
+                wire_format=wire_format,
+            )
+        for name in host_names:
+            self.host_agents[name] = IGMPHostAgent(network.hosts[name])
+
+    def start(self) -> None:
+        """Start every protocol instance (IGMP elections, HELLOs, timers)."""
+        for protocol in self.protocols.values():
+            protocol.start()
+
+    def protocol(self, router_name: str) -> CBTProtocol:
+        return self.protocols[router_name]
+
+    def agent(self, host_name: str) -> IGMPHostAgent:
+        return self.host_agents[host_name]
+
+    # -- group management -------------------------------------------------
+
+    def create_group(
+        self, group: IPv4Address, cores: Sequence[CoreSpec]
+    ) -> Tuple[IPv4Address, ...]:
+        """Create a group with the given cores (routers, names, or addresses)."""
+        addresses = tuple(self._core_address(core) for core in cores)
+        return self.coordinator.create_group(group, addresses)
+
+    def _core_address(self, core: CoreSpec) -> IPv4Address:
+        if isinstance(core, Router):
+            return core.primary_address
+        if isinstance(core, str):
+            return self.network.router(core).primary_address
+        return core
+
+    def join_host(self, host_name: str, group: IPv4Address) -> None:
+        """Host joins: IGMP core report + membership report (spec §2.5)."""
+        cores = self.coordinator.cores_for(group)
+        self.host_agents[host_name].join(group, cores=cores or None)
+
+    def leave_host(self, host_name: str, group: IPv4Address) -> None:
+        self.host_agents[host_name].leave(group)
+
+    # -- inspection ----------------------------------------------------------
+
+    def on_tree_routers(self, group: IPv4Address) -> List[str]:
+        return sorted(
+            name
+            for name, protocol in self.protocols.items()
+            if protocol.is_on_tree(group)
+        )
+
+    def tree_edges(self, group: IPv4Address) -> List[Tuple[str, str]]:
+        """(child, parent) router-name pairs for the group's tree."""
+        by_address = {}
+        for name, protocol in self.protocols.items():
+            for interface in protocol.router.interfaces:
+                by_address[interface.address] = name
+        edges = []
+        for name, protocol in self.protocols.items():
+            parent = protocol.tree_parent(group)
+            if parent is not None:
+                edges.append((name, by_address.get(parent, str(parent))))
+        return sorted(edges)
+
+    def total_fib_state(self) -> int:
+        """Sum of FIB state across all routers (E1 metric)."""
+        return sum(p.fib.total_state() for p in self.protocols.values())
+
+    def control_messages_sent(self, exclude_hello: bool = True) -> int:
+        return sum(
+            p.stats.total_sent(exclude_hello=exclude_hello)
+            for p in self.protocols.values()
+        )
+
+    def assert_tree_consistent(self, group: IPv4Address) -> None:
+        """Raise AssertionError if parent/child views disagree or loop.
+
+        Invariant checks used by tests and property-based scenarios:
+        every non-root on-tree router has a parent that lists it as a
+        child, and following parent links never revisits a router.
+        """
+        by_address = {}
+        for name, protocol in self.protocols.items():
+            for interface in protocol.router.interfaces:
+                by_address[interface.address] = name
+        for name, protocol in self.protocols.items():
+            entry = protocol.fib.get(group)
+            if entry is None or not entry.has_parent:
+                continue
+            parent_name = by_address.get(entry.parent_address)
+            assert parent_name is not None, (
+                f"{name}: parent {entry.parent_address} is not a CBT router"
+            )
+            parent_entry = self.protocols[parent_name].fib.get(group)
+            assert parent_entry is not None, (
+                f"{name}: parent {parent_name} has no FIB entry for {group}"
+            )
+            my_addresses = {
+                i.address for i in protocol.router.interfaces
+            }
+            assert my_addresses & set(parent_entry.children), (
+                f"{name}: parent {parent_name} does not list it as a child"
+            )
+        # Loop check: walk parent pointers from every on-tree router.
+        for name, protocol in self.protocols.items():
+            seen = set()
+            current = name
+            while current is not None:
+                assert current not in seen, f"tree loop through {current}"
+                seen.add(current)
+                entry = self.protocols[current].fib.get(group)
+                if entry is None or not entry.has_parent:
+                    break
+                current = by_address.get(entry.parent_address)

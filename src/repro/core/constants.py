@@ -1,0 +1,70 @@
+"""CBT protocol constants (spec §3, §8).
+
+Message type and subcode numbering follows §8.3/§8.3.1 of the spec
+verbatim; the UDP port assignments follow §3 (unofficial, pending
+approval, as the spec notes).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: CBT primary control messages travel over UDP port 7777 (spec §3).
+CBT_PORT = 7777
+
+#: CBT auxiliary control messages travel over UDP port 7778 (spec §3).
+CBT_AUX_PORT = 7778
+
+#: Protocol version this implementation speaks (spec §8.1: version 1).
+CBT_VERSION = 1
+
+#: Maximum cores a control packet may carry (spec: engineering decision
+#: to avoid variable-size packets put the ceiling at 5).
+MAX_CORES = 5
+
+#: The CBT header on-tree marker values (spec §7).
+ON_TREE = 0xFF
+OFF_TREE = 0x00
+
+
+class MessageType(enum.IntEnum):
+    """Control message types (spec §8.3 primary, §8.4 auxiliary)."""
+
+    JOIN_REQUEST = 1
+    JOIN_ACK = 2
+    JOIN_NACK = 3
+    QUIT_REQUEST = 4
+    QUIT_ACK = 5
+    FLUSH_TREE = 6
+    ECHO_REQUEST = 7
+    ECHO_REPLY = 8
+    # HELLO is not in the -02/-03 draft's numbered list, but the spec
+    # requires CBT routers to "keep track of their immediate CBT
+    # neighbouring routers" (§2.3); CBTv2 (RFC 2189) later formalised a
+    # HELLO for exactly this.  We number it in the private range.
+    HELLO = 15
+
+
+class JoinSubcode(enum.IntEnum):
+    """JOIN_REQUEST subcodes (spec §8.3.1)."""
+
+    ACTIVE_JOIN = 0
+    REJOIN_ACTIVE = 1
+    REJOIN_NACTIVE = 2
+
+
+class JoinAckSubcode(enum.IntEnum):
+    """JOIN_ACK subcodes (spec §8.3.1)."""
+
+    NORMAL = 0
+    PROXY_ACK = 1
+    REJOIN_NACTIVE = 2
+
+
+#: Aggregate marker values for auxiliary messages (spec §8.4).
+AGGREGATE = 0xFF
+NOT_AGGREGATE = 0x00
+
+#: Retransmission attempts for QUIT_REQUEST before the child removes
+#: parent state unilaterally (spec §6.3: "typically 3").
+QUIT_RETRY_LIMIT = 3

@@ -1,0 +1,427 @@
+"""CBT data-packet forwarding (spec §4, §5, §7).
+
+Implements both forwarding modes:
+
+* **native mode** (§4) — data packets traverse tree branches as plain
+  IP multicasts; valid only inside CBT-only clouds.  Interfaces
+  configured as tunnels (``mode='cbt'``) still get IP-over-IP
+  encapsulation.
+* **CBT mode** (§5) — data carries the Figure-7 CBT header between
+  routers: CBT unicast across tunnels/point-to-point links, CBT
+  multicast when several tree neighbours share an interface, and
+  native IP multicast (TTL 1) onto directly connected subnets with
+  member presence.
+
+Loop protection follows §7: the first on-tree router sets the header's
+on-tree field to 0xff, and any router receiving an on-tree packet over
+a non-tree interface discards it immediately.
+
+One deliberate deviation, noted in DESIGN.md: the spec's CBT-multicast
+optimisation can duplicate packets when the *sender's* tree neighbour
+shares the outgoing interface, so we only use it when no excluded
+neighbour sits on that interface; ``use_cbt_multicast=False`` disables
+it entirely (the forwarding benchmark measures both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.constants import OFF_TREE
+from repro.core.fib import FIBEntry
+from repro.core.messages import CBTDataPacket
+from repro.netsim.nic import Interface
+from repro.netsim.packet import (
+    IPDatagram,
+    LOCAL_DELIVERY_TTL,
+    PROTO_CBT,
+    PROTO_IGMP,
+    PROTO_IPIP,
+)
+
+
+@dataclass
+class ForwardingStats:
+    """Data-plane counters, read by tests and benchmarks."""
+
+    native_forwards: int = 0
+    cbt_unicasts: int = 0
+    cbt_multicasts: int = 0
+    member_deliveries: int = 0
+    encapsulations: int = 0
+    decapsulations: int = 0
+    nonmember_originations: int = 0
+    intercepts: int = 0
+    discards_offtree: int = 0
+    discards_ttl: int = 0
+    discards_not_local: int = 0
+    discards_no_mapping: int = 0
+
+    def total_router_work(self) -> int:
+        """Per-packet work units: every forward or deliver operation."""
+        return (
+            self.native_forwards
+            + self.cbt_unicasts
+            + self.cbt_multicasts
+            + self.member_deliveries
+        )
+
+
+class DataPlane:
+    """The forwarding engine for one CBT router.
+
+    Reads the FIB and the IGMP membership database that the control
+    plane (:class:`repro.core.router.CBTProtocol`) maintains; never
+    mutates either.
+    """
+
+    def __init__(self, protocol) -> None:
+        self.protocol = protocol
+        self.stats = ForwardingStats()
+
+    # convenience accessors --------------------------------------------------
+
+    @property
+    def router(self):
+        return self.protocol.router
+
+    @property
+    def fib(self):
+        return self.protocol.fib
+
+    @property
+    def mode(self) -> str:
+        return self.protocol.mode
+
+    def _member_vifs(self, group: IPv4Address) -> List[int]:
+        return self.protocol.igmp.database.interfaces_with(group)
+
+    # -- entry points ----------------------------------------------------------
+
+    def forward_multicast(self, router, arrival: Interface, datagram: IPDatagram) -> None:
+        """Router hook for non-link-local multicast arrivals."""
+        if datagram.proto == PROTO_IGMP:
+            return  # control, handled by the IGMP agent
+        if datagram.proto == PROTO_CBT:
+            packet = datagram.payload
+            if isinstance(packet, CBTDataPacket):
+                self._receive_cbt(
+                    arrival, packet, outer_src=datagram.src, was_multicast=True
+                )
+            return
+        self._handle_native(arrival, datagram)
+
+    def handle_cbt_unicast(self, arrival: Interface, datagram: IPDatagram) -> None:
+        """PROTO_CBT datagram addressed to this router."""
+        packet = datagram.payload
+        if isinstance(packet, CBTDataPacket):
+            self._receive_cbt(
+                arrival, packet, outer_src=datagram.src, was_multicast=False
+            )
+
+    def handle_ipip(self, arrival: Interface, datagram: IPDatagram) -> None:
+        """IP-over-IP tunnel arrival (native-mode tunnels, §4)."""
+        inner = datagram.payload
+        if isinstance(inner, IPDatagram) and inner.is_multicast:
+            self.stats.decapsulations += 1
+            self._handle_native(arrival, inner, tunnel_arrival=True)
+
+    def intercept_unicast(self, router, arrival: Interface, datagram: IPDatagram) -> bool:
+        """First-on-tree-router interception of non-member-sender packets.
+
+        A packet travelling toward a core with the on-tree field still
+        0x00 is grabbed by the first on-tree router it crosses (§7);
+        an on-tree-marked packet crossing an off-tree router is a
+        routing accident and is discarded.
+        """
+        if datagram.proto != PROTO_CBT:
+            return False
+        packet = datagram.payload
+        if not isinstance(packet, CBTDataPacket):
+            return False
+        entry = self.fib.get(packet.group)
+        if entry is None:
+            if packet.is_on_tree:
+                self.stats.discards_offtree += 1
+                return True  # §7: wandered off-tree; discard
+            return False  # keep unicasting toward the core
+        self.stats.intercepts += 1
+        self._receive_cbt(
+            arrival, packet, outer_src=datagram.src, was_multicast=False
+        )
+        return True
+
+    # -- native data ------------------------------------------------------------
+
+    def _handle_native(
+        self, arrival: Interface, datagram: IPDatagram, tunnel_arrival: bool = False
+    ) -> None:
+        group = datagram.dst
+        entry = self.fib.get(group)
+        local_origin = arrival.on_same_network(datagram.src) and not tunnel_arrival
+
+        if local_origin:
+            if entry is None:
+                self._originate_nonmember(arrival, datagram)
+                return
+            if not self._responsible_for(arrival, group):
+                return  # another attached router owns this LAN's forwarding
+            self._span(
+                entry,
+                inner=datagram,
+                exclude_vif=arrival.vif,
+                exclude_address=None,
+                exclude_member_vifs={arrival.vif},
+            )
+            return
+
+        # Not locally originated: only legitimate in native mode over a
+        # tree interface (§7); everything else is discarded (§5 rule 1).
+        if entry is None or not entry.is_tree_interface(arrival.vif):
+            self.stats.discards_not_local += 1
+            return
+        if self.mode != "native" and not tunnel_arrival:
+            self.stats.discards_not_local += 1
+            return
+        if datagram.ttl <= 1:
+            self.stats.discards_ttl += 1
+            return
+        self._span(
+            entry,
+            inner=datagram.decremented(),
+            exclude_vif=arrival.vif,
+            exclude_address=None,
+            exclude_member_vifs={arrival.vif},
+        )
+
+    def _responsible_for(self, arrival: Interface, group: IPv4Address) -> bool:
+        """Should this router pick up local-origin packets on this LAN?
+
+        Per §2.6, the router holding the group's FIB entry (the G-DR)
+        is "the only router on the LAN that has an upstream forwarding
+        entry" — holding an entry is the responsibility marker.
+        """
+        return self.fib.get(group) is not None
+
+    # -- CBT-mode data --------------------------------------------------------------
+
+    def _receive_cbt(
+        self,
+        arrival: Interface,
+        packet: CBTDataPacket,
+        outer_src: IPv4Address,
+        was_multicast: bool,
+    ) -> None:
+        if packet.ip_ttl <= 1:
+            self.stats.discards_ttl += 1
+            return
+        packet = packet.decremented()
+        entry = self.fib.get(packet.group)
+        if entry is None:
+            # Off-tree router: §7 discards on-tree-marked packets; a
+            # still-off-tree packet addressed to us means we are the
+            # target core of a non-member sender but have no tree yet.
+            self.stats.discards_offtree += 1
+            return
+        if packet.is_on_tree:
+            if not entry.is_tree_interface(arrival.vif):
+                self.stats.discards_offtree += 1
+                return
+            # A CBT multicast reached every tree neighbour on the
+            # arrival interface; a CBT unicast reached only us, so
+            # other neighbours on that interface still need a copy.
+            self._span(
+                entry,
+                inner=packet.inner,
+                exclude_vif=arrival.vif if was_multicast else None,
+                exclude_address=outer_src,
+                exclude_member_vifs={arrival.vif},
+                cbt_packet=packet,
+                no_multicast_vif=arrival.vif,
+            )
+        else:
+            # First on-tree router: set the on-tree field (§7) and span
+            # the whole tree; nobody has delivered anywhere yet.
+            self._span(
+                entry,
+                inner=packet.inner,
+                exclude_vif=None,
+                exclude_address=None,
+                exclude_member_vifs=set(),
+                cbt_packet=packet.marked_on_tree(),
+            )
+
+    # -- non-member sending -----------------------------------------------------------
+
+    def _originate_nonmember(self, arrival: Interface, datagram: IPDatagram) -> None:
+        """Off-tree D-DR encapsulates local multicast toward a core (§5.1)."""
+        if not self.protocol.dr_election.is_default_dr(arrival):
+            return
+        if self.protocol.has_gdr(arrival.vif, datagram.dst):
+            return  # the on-LAN G-DR (proxy-ack sender) forwards instead
+        cores = self.protocol.cores_for(datagram.dst)
+        if not cores:
+            self.stats.discards_no_mapping += 1
+            return
+        core = cores[0]
+        packet = CBTDataPacket(
+            group=datagram.dst,
+            core=core,
+            origin=datagram.src,
+            inner=datagram,
+            on_tree=OFF_TREE,
+            ip_ttl=datagram.ttl,
+        )
+        self.stats.nonmember_originations += 1
+        self.stats.encapsulations += 1
+        self.router.originate(
+            IPDatagram(
+                src=self.router.primary_address,
+                dst=core,
+                proto=PROTO_CBT,
+                payload=packet,
+            )
+        )
+
+    # -- spanning --------------------------------------------------------------------
+
+    def _span(
+        self,
+        entry: FIBEntry,
+        inner: IPDatagram,
+        exclude_vif: Optional[int],
+        exclude_address: Optional[IPv4Address],
+        exclude_member_vifs: Set[int],
+        cbt_packet: Optional[CBTDataPacket] = None,
+        no_multicast_vif: Optional[int] = None,
+    ) -> None:
+        """Send ``inner`` over the tree and onto member subnets.
+
+        ``exclude_vif``/``exclude_address`` identify where the packet
+        came from; tree neighbours there already have it.
+        ``no_multicast_vif`` forbids the CBT-multicast optimisation on
+        one interface (the arrival interface: a multicast there would
+        hand the packet back to its sender).
+        """
+        targets = self._tree_targets(entry, exclude_vif, exclude_address)
+        if self.mode == "cbt" or cbt_packet is not None:
+            packet = cbt_packet
+            if packet is None:
+                packet = CBTDataPacket(
+                    group=entry.group,
+                    core=self._core_hint(entry.group),
+                    origin=inner.src,
+                    inner=inner,
+                    ip_ttl=inner.ttl,
+                ).marked_on_tree()
+                self.stats.encapsulations += 1
+            self._send_cbt_targets(entry.group, packet, targets, no_multicast_vif)
+        else:
+            self._send_native_targets(entry.group, inner, targets)
+        self._deliver_members(entry.group, inner, exclude_member_vifs)
+
+    def _tree_targets(
+        self,
+        entry: FIBEntry,
+        exclude_vif: Optional[int],
+        exclude_address: Optional[IPv4Address],
+    ) -> List[Tuple[IPv4Address, int]]:
+        targets: List[Tuple[IPv4Address, int]] = []
+        if entry.has_parent:
+            targets.append((entry.parent_address, entry.parent_vif))
+        for address, vif in sorted(entry.children.items(), key=lambda kv: int(kv[0])):
+            targets.append((address, vif))
+        return [
+            (address, vif)
+            for address, vif in targets
+            if address != exclude_address and vif != exclude_vif
+        ]
+
+    def _send_cbt_targets(
+        self,
+        group: IPv4Address,
+        packet: CBTDataPacket,
+        targets: List[Tuple[IPv4Address, int]],
+        no_multicast_vif: Optional[int] = None,
+    ) -> None:
+        by_vif: Dict[int, List[IPv4Address]] = {}
+        for address, vif in targets:
+            by_vif.setdefault(vif, []).append(address)
+        for vif, addresses in sorted(by_vif.items()):
+            interface = self.router.interface_for_vif(vif)
+            if (
+                self.protocol.use_cbt_multicast
+                and len(addresses) > 1
+                and vif != no_multicast_vif
+            ):
+                # CBT multicast: one transmission reaches every tree
+                # neighbour on this interface (§5).  Hosts discard it
+                # because they do not recognise protocol 7.
+                self.stats.cbt_multicasts += 1
+                interface.send(
+                    IPDatagram(
+                        src=interface.address,
+                        dst=group,
+                        proto=PROTO_CBT,
+                        payload=packet,
+                        ttl=1,
+                    )
+                )
+                continue
+            for address in addresses:
+                self.stats.cbt_unicasts += 1
+                interface.send(
+                    IPDatagram(
+                        src=interface.address,
+                        dst=address,
+                        proto=PROTO_CBT,
+                        payload=packet,
+                    ),
+                    link_dst=address,
+                )
+
+    def _send_native_targets(
+        self,
+        group: IPv4Address,
+        inner: IPDatagram,
+        targets: List[Tuple[IPv4Address, int]],
+    ) -> None:
+        sent_vifs: Set[int] = set()
+        for address, vif in targets:
+            interface = self.router.interface_for_vif(vif)
+            if interface.mode == "cbt":
+                # Tunnel inside a native-mode cloud: IP-over-IP (§4).
+                self.stats.encapsulations += 1
+                interface.send(
+                    IPDatagram(
+                        src=interface.address,
+                        dst=address,
+                        proto=PROTO_IPIP,
+                        payload=inner,
+                    ),
+                    link_dst=address,
+                )
+                continue
+            if vif in sent_vifs:
+                continue  # one native multicast covers the whole LAN
+            sent_vifs.add(vif)
+            self.stats.native_forwards += 1
+            interface.send(inner)
+
+    def _deliver_members(
+        self, group: IPv4Address, inner: IPDatagram, exclude_vifs: Set[int]
+    ) -> None:
+        for vif in self._member_vifs(group):
+            if vif in exclude_vifs:
+                continue
+            interface = self.router.interface_for_vif(vif)
+            if interface.on_same_network(inner.src):
+                continue  # the origin subnet had the packet first (§5)
+            self.stats.member_deliveries += 1
+            interface.send(inner.with_ttl(LOCAL_DELIVERY_TTL))
+
+    def _core_hint(self, group: IPv4Address) -> IPv4Address:
+        cores = self.protocol.cores_for(group)
+        return cores[0] if cores else IPv4Address("0.0.0.0")

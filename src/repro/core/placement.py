@@ -1,0 +1,86 @@
+"""Core placement strategies.
+
+Core placement is the CBT papers' acknowledged open problem ("work is
+currently in progress to address the issue of core placement"); the
+1993 evaluation showed tree quality depends heavily on where the core
+sits.  These strategies operate on the abstract
+:class:`repro.topology.graph.Graph` and are swept by the delay-stretch
+experiment (E4):
+
+* ``random_core`` — the pessimistic baseline;
+* ``max_degree_core`` — a cheap local heuristic;
+* ``topology_center_core`` — minimum eccentricity (needs full topology
+  knowledge, the idealised case);
+* ``member_centroid_core`` — minimises total distance to the member
+  set (group-aware placement);
+* ``best_of_candidates`` — evaluate k random candidates against a
+  member set and keep the best, modelling a practical middle ground.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.topology.graph import Graph
+
+
+def random_core(graph: Graph, rng: random.Random) -> str:
+    """Uniformly random router."""
+    return rng.choice(graph.nodes)
+
+
+def max_degree_core(graph: Graph, rng: Optional[random.Random] = None) -> str:
+    """Highest-degree router (ties broken by name for determinism)."""
+    return max(graph.nodes, key=lambda n: (graph.degree(n), n))
+
+
+def topology_center_core(graph: Graph, rng: Optional[random.Random] = None) -> str:
+    """Router with minimum eccentricity over the whole topology."""
+    return graph.center(weight="delay")
+
+
+def member_centroid_core(
+    graph: Graph, members: Sequence[str], rng: Optional[random.Random] = None
+) -> str:
+    """Router minimising total delay to the member set."""
+    if not members:
+        raise ValueError("member set must not be empty")
+    return min(
+        graph.nodes,
+        key=lambda n: (graph.total_distance(n, members, weight="delay"), n),
+    )
+
+
+def best_of_candidates(
+    graph: Graph,
+    members: Sequence[str],
+    rng: random.Random,
+    k: int = 3,
+    score: Optional[Callable[[Graph, str, Sequence[str]], float]] = None,
+) -> str:
+    """Best of ``k`` random candidates by total delay to members.
+
+    ``score`` may replace the default total-delay objective (lower is
+    better) — the ablation benchmark passes a max-delay objective.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if score is None:
+        score = lambda g, node, m: g.total_distance(node, m, weight="delay")
+    candidates = [rng.choice(graph.nodes) for _ in range(k)]
+    return min(candidates, key=lambda n: (score(graph, n, members), n))
+
+
+def rank_cores(
+    graph: Graph, members: Sequence[str], count: int = 2
+) -> List[str]:
+    """Ordered core list (primary first) for a group: centroid primary
+    plus up-to-``count - 1`` next-best distinct routers as secondaries."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    ranked = sorted(
+        graph.nodes,
+        key=lambda n: (graph.total_distance(n, members, weight="delay"), n),
+    )
+    return ranked[:count]

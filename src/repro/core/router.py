@@ -1,0 +1,1457 @@
+"""The CBT control plane: tree building, maintenance, and teardown.
+
+One :class:`CBTProtocol` instance turns a simulated
+:class:`repro.routing.table.Router` into a CBT router.  The
+implementation tracks the spec section by section:
+
+* §2.3 DR election (querier = D-DR) — :mod:`repro.core.dr`
+* §2.5 tree joining: JOIN_REQUEST hop-by-hop toward the target core,
+  transient path state, pending-join caching, JOIN_ACK fixing state
+* §2.6 proxy-acks and G-DRs on multi-access LANs
+* §2.7 teardown: QUIT_REQUEST / QUIT_ACK and FLUSH_TREE
+* §6   keepalives (echo request/reply), parent failure recovery with
+  alternate cores, core/non-core restarts, rejoin loop detection via
+  REJOIN-NACTIVE
+* §9   default timers (all configurable)
+
+Data-plane behaviour (§4, §5, §7) lives in
+:mod:`repro.core.forwarding`; this module owns the FIB it reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.constants import (
+    CBT_AUX_PORT,
+    CBT_PORT,
+    JoinAckSubcode,
+    JoinSubcode,
+    MessageType,
+    QUIT_RETRY_LIMIT,
+)
+from repro.core.dr import DRElection, HELLO_HOLD_TIME, HELLO_INTERVAL, NeighbourTable
+from repro.core.fib import FIB, FIBEntry
+from repro.core.forwarding import DataPlane
+from repro.core.constants import CBT_VERSION
+from repro.core.messages import (
+    CBTControlMessage,
+    CBTDecodeError,
+    covering_prefix,
+    decode_control,
+    in_masked_range,
+)
+from repro.core.state import CachedJoin, PendingJoin, RejoinAttempt
+from repro.core.timers import CBTTimers, DEFAULT_TIMERS
+from repro.igmp.messages import CoreReport
+from repro.igmp.router_side import IGMPConfig, IGMPRouterAgent
+from repro.netsim.address import ALL_CBT_ROUTERS
+from repro.netsim.engine import PeriodicTimer
+from repro.netsim.nic import Interface
+from repro.netsim.node import Node
+from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IPIP, PROTO_UDP, make_udp
+
+_ANY_GROUP = IPv4Address("0.0.0.0")
+
+
+@dataclass
+class ControlStats:
+    """Control-plane message counters (spec message type granularity)."""
+
+    sent: Dict[str, int] = field(default_factory=dict)
+    received: Dict[str, int] = field(default_factory=dict)
+
+    def count_sent(self, msg_type: MessageType) -> None:
+        key = msg_type.name
+        self.sent[key] = self.sent.get(key, 0) + 1
+
+    def count_received(self, msg_type: MessageType) -> None:
+        key = msg_type.name
+        self.received[key] = self.received.get(key, 0) + 1
+
+    def total_sent(self, exclude_hello: bool = True) -> int:
+        return sum(
+            count
+            for name, count in self.sent.items()
+            if not (exclude_hello and name == "HELLO")
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """Timestamped protocol milestone, recorded for tests/benchmarks."""
+
+    time: float
+    kind: str
+    group: IPv4Address
+    detail: str = ""
+
+
+class CBTProtocol:
+    """CBT control and data plane for one router."""
+
+    def __init__(
+        self,
+        router,
+        timers: CBTTimers = DEFAULT_TIMERS,
+        mode: str = "cbt",
+        coordinator=None,
+        igmp_config: Optional[IGMPConfig] = None,
+        use_cbt_multicast: bool = False,
+        aggregate_echoes: bool = False,
+        enable_proxy_ack: bool = True,
+        wire_format: bool = False,
+    ) -> None:
+        if mode not in ("cbt", "native"):
+            raise ValueError(f"mode must be 'cbt' or 'native', got {mode!r}")
+        self.router = router
+        self.timers = timers
+        self.mode = mode
+        self.coordinator = coordinator
+        self.use_cbt_multicast = use_cbt_multicast
+        self.aggregate_echoes = aggregate_echoes
+        self.enable_proxy_ack = enable_proxy_ack
+        #: When True, control messages cross the network as encoded
+        #: §8 bytes and are decoded (checksum-verified) per hop.
+        self.wire_format = wire_format
+        self.decode_errors = 0
+
+        self.fib = FIB()
+        self.igmp = IGMPRouterAgent(router, config=igmp_config)
+        self.neighbours = NeighbourTable()
+        self.dr_election = DRElection(self.igmp, self.neighbours)
+        self.data_plane = DataPlane(self)
+
+        #: group -> ordered core list (primary first), learnt from core
+        #: reports, passing joins, or the coordinator.
+        self.group_cores: Dict[IPv4Address, Tuple[IPv4Address, ...]] = {}
+        self.pending: Dict[IPv4Address, PendingJoin] = {}
+        self.rejoins: Dict[IPv4Address, RejoinAttempt] = {}
+        #: groups we want to join as soon as core information arrives.
+        self._want_join: Dict[IPv4Address, int] = {}
+        #: group -> index of the core the local RP/Core-Report targeted.
+        self._target_core_index: Dict[IPv4Address, int] = {}
+        #: (vif, group) -> G-DR address learnt from a proxy-ack (§2.6).
+        self._gdr_known: Dict[Tuple[int, IPv4Address], IPv4Address] = {}
+        #: (group, child address) -> last echo-request time.
+        self._child_last_heard: Dict[Tuple[IPv4Address, IPv4Address], float] = {}
+        #: group -> last echo-reply time from the parent.
+        self._parent_last_reply: Dict[IPv4Address, float] = {}
+        #: group -> remaining quit retries (present while quitting).
+        self._quitting: Dict[IPv4Address, int] = {}
+        #: group -> consecutive loop detections; bounds loop-break retries.
+        self._loop_count: Dict[IPv4Address, int] = {}
+
+        self.stats = ControlStats()
+        self.events: List[ProtocolEvent] = []
+        self._tickers: List[PeriodicTimer] = []
+        self._started = False
+        #: §5.2 tunnel configuration: when set, per-core interface
+        #: rankings replace unicast routing for reaching those cores.
+        self.tunnel_table = None
+        # HELLO cadence scales with the timer profile so neighbour /
+        # tree-announcement liveness tracks the rest of the protocol.
+        scale = timers.echo_interval / DEFAULT_TIMERS.echo_interval
+        self.hello_interval = HELLO_INTERVAL * scale
+        self.hello_hold = HELLO_HOLD_TIME * scale
+
+        # Wire ourselves into the router.
+        router.register_handler(PROTO_UDP, self._handle_udp)
+        router.register_handler(PROTO_CBT, self._handle_proto_cbt)
+        router.register_handler(PROTO_IPIP, self._handle_ipip)
+        router.multicast_forwarder = self.data_plane
+        router.unicast_interceptor = self.data_plane.intercept_unicast
+        self.igmp.on_membership_change(self._on_membership_change)
+        self.igmp.on_core_report(self._on_core_report)
+        if coordinator is not None:
+            coordinator.register(self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin IGMP querier duty, HELLOs, and maintenance timers."""
+        if self._started:
+            return
+        self._started = True
+        self.igmp.start()
+        # Two quick HELLOs so neighbours learn us fast, then periodic.
+        self._send_hellos()
+        self.router.scheduler.call_later(1.0, self._send_hellos)
+        for interval, tick in (
+            (self.hello_interval, self._hello_tick),
+            (self.timers.echo_interval, self._echo_tick),
+            (self.timers.child_assert_interval, self._child_assert_tick),
+            (self.timers.iff_scan_interval, self._iff_scan_tick),
+        ):
+            ticker = PeriodicTimer(self.router.scheduler, interval, tick)
+            ticker.start()
+            self._tickers.append(ticker)
+
+    def stop(self) -> None:
+        for ticker in self._tickers:
+            ticker.stop()
+        self._tickers.clear()
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> IPv4Address:
+        return self.router.primary_address
+
+    def is_on_tree(self, group: IPv4Address) -> bool:
+        return self.fib.get(group) is not None
+
+    def tree_parent(self, group: IPv4Address) -> Optional[IPv4Address]:
+        entry = self.fib.get(group)
+        return entry.parent_address if entry else None
+
+    def tree_children(self, group: IPv4Address) -> List[IPv4Address]:
+        entry = self.fib.get(group)
+        return sorted(entry.children) if entry else []
+
+    def cores_for(self, group: IPv4Address) -> Tuple[IPv4Address, ...]:
+        cores = self.group_cores.get(group)
+        if cores:
+            return cores
+        if self.coordinator is not None:
+            cores = self.coordinator.cores_for(group)
+            if cores:
+                self.group_cores[group] = cores
+                return cores
+        return ()
+
+    def is_core_for(self, group: IPv4Address) -> bool:
+        return any(self.router.owns_address(c) for c in self.cores_for(group))
+
+    def is_primary_core_for(self, group: IPv4Address) -> bool:
+        cores = self.cores_for(group)
+        return bool(cores) and self.router.owns_address(cores[0])
+
+    def has_gdr(self, vif: int, group: IPv4Address) -> bool:
+        return (vif, group) in self._gdr_known
+
+    def learn_cores(self, group: IPv4Address, cores: Sequence[IPv4Address]) -> None:
+        """Record the ordered core list for ``group``."""
+        if cores:
+            self.group_cores[group] = tuple(cores)
+
+    def events_of(self, kind: str) -> List[ProtocolEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    # ------------------------------------------------------------------
+    # IGMP-driven behaviour (spec §2.2, §2.5, §2.7)
+    # ------------------------------------------------------------------
+
+    def _on_core_report(self, interface: Interface, report: CoreReport) -> None:
+        self.learn_cores(report.group, report.cores)
+        self._target_core_index[report.group] = report.target_core
+        if report.group in self._want_join:
+            vif = self._want_join.pop(report.group)
+            self._maybe_join(report.group, self.router.interface_for_vif(vif))
+
+    def _on_membership_change(
+        self, interface: Interface, group: IPv4Address, present: bool
+    ) -> None:
+        if present:
+            self._maybe_join(group, interface)
+        else:
+            self._gdr_known.pop((interface.vif, group), None)
+            self._maybe_quit(group)
+
+    def _maybe_join(self, group: IPv4Address, interface: Interface) -> None:
+        """Originate a join for ``group`` if this D-DR should (§2.5)."""
+        if group in self.fib or group in self.pending:
+            return
+        if not self.dr_election.is_default_dr(interface):
+            return
+        if self.neighbours.tree_announcers(
+            interface.vif, group, self.router.scheduler.now, self.hello_hold
+        ):
+            return  # an attached router already serves this LAN
+        cores = self.cores_for(group)
+        if not cores:
+            self._want_join[group] = interface.vif
+            return
+        if self.is_primary_core_for(group):
+            # The primary core is the tree root; a member subnet on it
+            # needs no join at all.
+            self.fib.get_or_create(group)
+            self._record("joined", group, detail="primary core root")
+            return
+        if self.is_core_for(group):
+            # A secondary core with local members joins the primary.
+            self.fib.get_or_create(group)
+            self._originate_join(
+                group,
+                cores=cores,
+                target_core=cores[0],
+                subcode=JoinSubcode.REJOIN_ACTIVE,
+                origin=self.address,
+            )
+            return
+        # Honour the target core the local RP/Core-Report named (the
+        # appendix's "target core" field); default to the primary.
+        target_index = self._target_core_index.get(group, 0)
+        target = cores[target_index] if target_index < len(cores) else cores[0]
+        self._originate_join(
+            group,
+            cores=cores,
+            target_core=target,
+            subcode=JoinSubcode.ACTIVE_JOIN,
+            origin=interface.address,
+        )
+
+    # ------------------------------------------------------------------
+    # join origination and retransmission
+    # ------------------------------------------------------------------
+
+    def configure_tunnels(self, table) -> None:
+        """Attach a §5.2 :class:`repro.core.tunnels.TunnelTable`."""
+        self.tunnel_table = table
+
+    def _resolve_upstream(
+        self, target: IPv4Address
+    ) -> Optional[Tuple[IPv4Address, int]]:
+        """(next-hop address, vif) toward ``target``.
+
+        §5.2: when tunnel rankings are configured for the target core,
+        they replace unicast routing entirely — the highest-ranked
+        *available* interface wins, falling back down the ranking.
+        """
+        if self.tunnel_table is not None:
+            entry = self.tunnel_table.resolve(target, self.router.interfaces)
+            if entry is not None:
+                remote = entry.remote_address or target
+                return remote, entry.vif
+            if self.tunnel_table.ranking(target):
+                return None  # ranked core, but every tunnel is down
+        route = self.router.best_route(target)
+        if route is None:
+            return None
+        next_hop = route.next_hop if route.next_hop is not None else target
+        return next_hop, route.interface.vif
+
+    def _originate_join(
+        self,
+        group: IPv4Address,
+        cores: Tuple[IPv4Address, ...],
+        target_core: IPv4Address,
+        subcode: JoinSubcode,
+        origin: IPv4Address,
+    ) -> bool:
+        """Create pending state and unicast a join to the first hop."""
+        resolved = self._resolve_upstream(target_core)
+        if resolved is None:
+            self._record("no_route", group, detail=str(target_core))
+            return False
+        upstream, upstream_vif = resolved
+        message = CBTControlMessage(
+            msg_type=MessageType.JOIN_REQUEST,
+            code=int(subcode),
+            group=group,
+            origin=origin,
+            target_core=target_core,
+            cores=cores,
+        )
+        pend = PendingJoin(
+            group=group,
+            origin=origin,
+            subcode=subcode,
+            target_core=target_core,
+            cores=cores,
+            upstream_address=upstream,
+            upstream_vif=upstream_vif,
+            created_at=self.router.scheduler.now,
+        )
+        self.pending[group] = pend
+        self._arm_pending_timers(pend, originator=True)
+        self._send_control(message, upstream)
+        return True
+
+    def _arm_pending_timers(self, pend: PendingJoin, originator: bool) -> None:
+        scheduler = self.router.scheduler
+        if originator:
+            pend.retransmit_timer = scheduler.call_later(
+                self.timers.pend_join_interval,
+                self._make_retransmit(pend.group),
+            )
+        pend.expiry_timer = scheduler.call_later(
+            self.timers.pend_join_timeout
+            if originator
+            else self.timers.expire_pending_join,
+            self._make_pending_expiry(pend.group, originator),
+        )
+
+    def _make_retransmit(self, group: IPv4Address) -> Callable[[], None]:
+        def retransmit() -> None:
+            pend = self.pending.get(group)
+            if pend is None:
+                return
+            pend.retransmissions += 1
+            message = CBTControlMessage(
+                msg_type=MessageType.JOIN_REQUEST,
+                code=int(pend.subcode),
+                group=group,
+                origin=pend.origin,
+                target_core=pend.target_core,
+                cores=pend.cores,
+            )
+            self._send_control(message, pend.upstream_address)
+            pend.retransmit_timer = self.router.scheduler.call_later(
+                self.timers.pend_join_interval, retransmit
+            )
+
+        return retransmit
+
+    def _make_pending_expiry(
+        self, group: IPv4Address, originator: bool
+    ) -> Callable[[], None]:
+        def expire() -> None:
+            pend = self.pending.get(group)
+            if pend is None:
+                return
+            if originator:
+                self._join_attempt_failed(group)
+            else:
+                # Transit router: silently drop the transient state
+                # (spec §9 EXPIRE-PENDING-JOIN).
+                pend.cancel_timers()
+                del self.pending[group]
+
+        return expire
+
+    def _join_attempt_failed(self, group: IPv4Address) -> None:
+        """A join attempt timed out or was NACKed: try an alternate core."""
+        pend = self.pending.pop(group, None)
+        if pend is None:
+            return
+        pend.cancel_timers()
+        self._nack_cached(pend)
+        attempt = self.rejoins.get(group)
+        now = self.router.scheduler.now
+        if attempt is None:
+            attempt = RejoinAttempt(
+                group=group,
+                started_at=pend.created_at,
+                cores=pend.cores,
+                core_index=self._core_index(pend.cores, pend.target_core),
+            )
+            self.rejoins[group] = attempt
+        if attempt.expired(now, self.timers.reconnect_timeout):
+            self._give_up(group)
+            return
+        next_core = attempt.advance_core()
+        self._record("retry", group, detail=str(next_core))
+        self._flush_child_on_path(group, next_core)
+        started = self._originate_join(
+            group,
+            cores=pend.cores,
+            target_core=next_core,
+            subcode=pend.subcode,
+            origin=pend.origin,
+        )
+        if not started:
+            # No route to this core either; re-enter failure handling
+            # after a retransmission interval rather than recursing.
+            self.router.scheduler.call_later(
+                self.timers.pend_join_interval,
+                self._make_failed_retry(group, pend, attempt),
+            )
+
+    def _make_failed_retry(
+        self, group: IPv4Address, pend: PendingJoin, attempt: RejoinAttempt
+    ) -> Callable[[], None]:
+        def retry() -> None:
+            if group in self.pending or group not in self.rejoins:
+                return
+            self.pending[group] = pend  # re-seed so failure logic re-runs
+            self._join_attempt_failed(group)
+
+        return retry
+
+    @staticmethod
+    def _core_index(cores: Tuple[IPv4Address, ...], core: IPv4Address) -> int:
+        try:
+            return cores.index(core)
+        except ValueError:
+            return 0
+
+    def _give_up(self, group: IPv4Address) -> None:
+        """Reconnect timeout exhausted (§6.1): flush downstream, clear."""
+        self.rejoins.pop(group, None)
+        entry = self.fib.get(group)
+        if entry is not None and entry.has_children:
+            self._send_flush_downstream(entry)
+        self._clear_group(group)
+        self._record("gave_up", group)
+        # With the old subtree flushed (descendants re-home themselves),
+        # a later fresh join usually succeeds; schedule one if local
+        # members still need the group.
+        self.router.scheduler.call_later(
+            self.timers.pend_join_timeout, self._make_fresh_join(group)
+        )
+
+    def _make_fresh_join(self, group: IPv4Address) -> Callable[[], None]:
+        def retry() -> None:
+            if group in self.fib or group in self.pending:
+                return
+            member_vifs = self.igmp.database.interfaces_with(group)
+            cores = self.cores_for(group)
+            if not member_vifs or not cores:
+                return
+            origin = self.router.interface_for_vif(member_vifs[0]).address
+            self._originate_join(
+                group,
+                cores=cores,
+                target_core=cores[0],
+                subcode=JoinSubcode.ACTIVE_JOIN,
+                origin=origin,
+            )
+
+        return retry
+
+    def _flush_child_on_path(self, group: IPv4Address, core: IPv4Address) -> None:
+        """§2.7: tear down a downstream branch that lies on the join path."""
+        entry = self.fib.get(group)
+        if entry is None:
+            return
+        route = self.router.best_route(core)
+        if route is None or route.next_hop is None:
+            return
+        if route.next_hop in entry.children:
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.FLUSH_TREE,
+                    code=0,
+                    group=group,
+                    origin=self.address,
+                ),
+                route.next_hop,
+            )
+            entry.remove_child(route.next_hop)
+
+    # ------------------------------------------------------------------
+    # control-message reception and dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_udp(self, node: Node, interface: Interface, datagram: IPDatagram) -> None:
+        udp = datagram.payload
+        if udp.dport not in (CBT_PORT, CBT_AUX_PORT):
+            return
+        message = udp.payload
+        if isinstance(message, (bytes, bytearray)):
+            try:
+                message = decode_control(bytes(message))
+            except CBTDecodeError:
+                self.decode_errors += 1
+                return  # corrupted on the wire: drop silently
+            if message.version != CBT_VERSION:
+                self.decode_errors += 1
+                return
+        if not isinstance(message, CBTControlMessage):
+            return
+        self.stats.count_received(message.msg_type)
+        handler = {
+            MessageType.JOIN_REQUEST: self._recv_join_request,
+            MessageType.JOIN_ACK: self._recv_join_ack,
+            MessageType.JOIN_NACK: self._recv_join_nack,
+            MessageType.QUIT_REQUEST: self._recv_quit_request,
+            MessageType.QUIT_ACK: self._recv_quit_ack,
+            MessageType.FLUSH_TREE: self._recv_flush,
+            MessageType.ECHO_REQUEST: self._recv_echo_request,
+            MessageType.ECHO_REPLY: self._recv_echo_reply,
+            MessageType.HELLO: self._recv_hello,
+        }.get(message.msg_type)
+        if handler is not None:
+            handler(interface, datagram.src, message)
+
+    def _handle_proto_cbt(self, node: Node, interface: Interface, datagram: IPDatagram) -> None:
+        if datagram.is_multicast:
+            return  # the multicast forwarder path handles these
+        self.data_plane.handle_cbt_unicast(interface, datagram)
+
+    def _handle_ipip(self, node: Node, interface: Interface, datagram: IPDatagram) -> None:
+        self.data_plane.handle_ipip(interface, datagram)
+
+    def _wire(self, message: CBTControlMessage):
+        """Encode to §8 bytes when wire-format mode is on."""
+        return message.encode() if self.wire_format else message
+
+    def _send_control(
+        self,
+        message: CBTControlMessage,
+        destination: IPv4Address,
+        port: int = CBT_PORT,
+    ) -> None:
+        # Source the datagram from the egress interface, as a real UDP
+        # stack would: peers record us (as child, parent, or join
+        # downstream hop) under the address they can reach on the
+        # shared link.
+        route = self.router.best_route(destination)
+        src = route.interface.address if route is not None else self.address
+        self.stats.count_sent(message.msg_type)
+        payload = message.encode() if self.wire_format else message
+        self.router.originate(
+            make_udp(
+                src=src,
+                dst=destination,
+                sport=port,
+                dport=port,
+                payload=payload,
+            )
+        )
+
+    # -- JOIN_REQUEST ------------------------------------------------------
+
+    def _recv_join_request(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        self.learn_cores(message.group, message.cores)
+        subcode = JoinSubcode(message.code)
+        if subcode == JoinSubcode.REJOIN_NACTIVE:
+            self._recv_nactive_rejoin(arrival, src, message)
+            return
+        self._process_join(arrival.vif, src, message, subcode)
+
+    def _process_join(
+        self,
+        arrival_vif: int,
+        src: IPv4Address,
+        message: CBTControlMessage,
+        subcode: JoinSubcode,
+    ) -> None:
+        group = message.group
+        pend = self.pending.get(group)
+        if pend is not None:
+            self._cache_or_refresh(pend, arrival_vif, src, message, subcode)
+            return
+        entry = self.fib.get(group)
+        if entry is not None:
+            self._terminate_join_on_tree(entry, arrival_vif, src, message, subcode)
+            return
+        if self.router.owns_address(message.target_core):
+            self._join_reached_core(arrival_vif, src, message)
+            return
+        self._forward_join(arrival_vif, src, message, subcode)
+
+    def _cache_or_refresh(
+        self,
+        pend: PendingJoin,
+        arrival_vif: int,
+        src: IPv4Address,
+        message: CBTControlMessage,
+        subcode: JoinSubcode,
+    ) -> None:
+        """Pending-join rule (§2.5): cache, or re-forward a retransmit."""
+        if pend.downstream_address == src and pend.origin == message.origin:
+            # The downstream hop retransmitted the join we already
+            # forwarded: push our own copy upstream again.
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_REQUEST,
+                    code=int(pend.subcode),
+                    group=pend.group,
+                    origin=pend.origin,
+                    target_core=pend.target_core,
+                    cores=pend.cores,
+                ),
+                pend.upstream_address,
+            )
+            return
+        already = any(
+            c.downstream_address == src and c.origin == message.origin
+            for c in pend.cached
+        )
+        if not already:
+            pend.cache(
+                CachedJoin(
+                    origin=message.origin,
+                    subcode=subcode,
+                    downstream_address=src,
+                    downstream_vif=arrival_vif,
+                    cores=message.cores,
+                )
+            )
+
+    def _terminate_join_on_tree(
+        self,
+        entry: FIBEntry,
+        arrival_vif: int,
+        src: IPv4Address,
+        message: CBTControlMessage,
+        subcode: JoinSubcode,
+    ) -> None:
+        """An on-tree router terminates and acknowledges a join (§2.5)."""
+        self._ack_join(entry, arrival_vif, src, message)
+        if (
+            subcode == JoinSubcode.REJOIN_ACTIVE
+            and not self.router.owns_address(message.target_core)
+            and not self.is_core_for(message.group)
+            and entry.has_parent
+        ):
+            # §6.3: a non-core on-tree router converts an active rejoin
+            # into the NACTIVE loop-detection message and sends it up
+            # its parent interface, inserting its own address in the
+            # core-address field so the primary can ack it directly.
+            converted = message.with_fields(
+                code=int(JoinSubcode.REJOIN_NACTIVE),
+                target_core=self.address,
+            )
+            self._send_control(converted, entry.parent_address)
+
+    def _join_reached_core(
+        self, arrival_vif: int, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        """This router is the join's target core and is off-tree (§6.2)."""
+        group = message.group
+        entry = self.fib.get_or_create(group)
+        self._ack_join(entry, arrival_vif, src, message)
+        primary = message.primary_core
+        if primary is not None and not self.router.owns_address(primary):
+            # Secondary core: ack first, then join the primary (§2.5).
+            self._record("core_activated", group, detail="secondary")
+            self._originate_join(
+                group,
+                cores=message.cores,
+                target_core=primary,
+                subcode=JoinSubcode.REJOIN_ACTIVE,
+                origin=self.address,
+            )
+        else:
+            self._record("core_activated", group, detail="primary")
+
+    def _forward_join(
+        self,
+        arrival_vif: int,
+        src: IPv4Address,
+        message: CBTControlMessage,
+        subcode: JoinSubcode,
+    ) -> None:
+        """Off-tree transit router: keep transient state, forward (§2.5)."""
+        resolved = self._resolve_upstream(message.target_core)
+        if resolved is None:
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_NACK,
+                    code=0,
+                    group=message.group,
+                    origin=message.origin,
+                    target_core=message.target_core,
+                    cores=message.cores,
+                ),
+                src,
+            )
+            return
+        upstream, upstream_vif = resolved
+        pend = PendingJoin(
+            group=message.group,
+            origin=message.origin,
+            subcode=subcode,
+            target_core=message.target_core,
+            cores=message.cores,
+            upstream_address=upstream,
+            upstream_vif=upstream_vif,
+            created_at=self.router.scheduler.now,
+            downstream_address=src,
+            downstream_vif=arrival_vif,
+        )
+        self.pending[message.group] = pend
+        self._arm_pending_timers(pend, originator=False)
+        self._send_control(message, upstream)
+
+    def _ack_join(
+        self,
+        entry: FIBEntry,
+        downstream_vif: int,
+        downstream: IPv4Address,
+        message: CBTControlMessage,
+    ) -> None:
+        """Acknowledge a join, applying the §2.6 proxy-ack rule."""
+        interface = self.router.interface_for_vif(downstream_vif)
+        proxy = (
+            self.enable_proxy_ack
+            and JoinSubcode(message.code) == JoinSubcode.ACTIVE_JOIN
+            and message.origin == downstream
+            and interface.on_same_network(message.origin)
+            and interface.address != message.origin
+            and self._has_other_cbt_router(interface, message.origin)
+        )
+        subcode = JoinAckSubcode.PROXY_ACK if proxy else JoinAckSubcode.NORMAL
+        if not proxy:
+            entry.add_child(downstream, downstream_vif)
+            self._child_last_heard[(entry.group, downstream)] = (
+                self.router.scheduler.now
+            )
+        else:
+            self._record("gdr", entry.group, detail=f"vif {downstream_vif}")
+        ack = CBTControlMessage(
+            msg_type=MessageType.JOIN_ACK,
+            code=int(subcode),
+            group=entry.group,
+            origin=message.origin,
+            target_core=message.target_core,
+            cores=self.cores_for(entry.group) or message.cores,
+        )
+        self._send_control(ack, downstream)
+
+    def _has_other_cbt_router(
+        self, interface: Interface, origin: IPv4Address
+    ) -> bool:
+        """Proxy-ack sanity check: the originator is a CBT router on
+        this LAN distinct from us (i.e. the join took an extra LAN
+        hop), not merely any same-subnet source."""
+        return self.neighbours.is_cbt_capable(interface.vif, origin)
+
+    # -- JOIN_ACK --------------------------------------------------------------
+
+    def _recv_join_ack(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        subcode = JoinAckSubcode(message.code)
+        if subcode == JoinAckSubcode.REJOIN_NACTIVE:
+            # Direct confirmation from the primary core that the
+            # NACTIVE rejoin we converted did not describe a loop.
+            self._record("nactive_confirmed", message.group)
+            return
+        group = message.group
+        pend = self.pending.pop(group, None)
+        if pend is None:
+            return  # stale ack
+        pend.cancel_timers()
+        self.learn_cores(group, message.cores)
+        if subcode == JoinAckSubcode.PROXY_ACK:
+            # §2.6: cancel transient state; the sender is now G-DR.
+            self._gdr_known[(pend.upstream_vif, group)] = src
+            self._nack_cached(pend)
+            self.rejoins.pop(group, None)
+            self._record("proxied", group, detail=str(src))
+            return
+        entry = self.fib.get_or_create(group)
+        entry.set_parent(pend.upstream_address, pend.upstream_vif)
+        self._parent_last_reply[group] = self.router.scheduler.now
+        if pend.downstream_address is not None:
+            self._ack_join(
+                entry,
+                pend.downstream_vif,
+                pend.downstream_address,
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_REQUEST,
+                    code=int(pend.subcode),
+                    group=group,
+                    origin=pend.origin,
+                    target_core=pend.target_core,
+                    cores=pend.cores,
+                ),
+            )
+        else:
+            latency = self.router.scheduler.now - pend.created_at
+            self._record("joined", group, detail=f"{latency:.4f}")
+        if group in self.rejoins:
+            self.rejoins.pop(group, None)
+            self._record("rejoined", group)
+        self._replay_cached(pend)
+        # Prime the keepalive: send the first echo right away (§6).
+        self._send_echo_for(entry)
+
+    def _replay_cached(self, pend: PendingJoin) -> None:
+        for cached in pend.cached:
+            self._process_join(
+                cached.downstream_vif,
+                cached.downstream_address,
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_REQUEST,
+                    code=int(cached.subcode),
+                    group=pend.group,
+                    origin=cached.origin,
+                    target_core=pend.target_core,
+                    cores=cached.cores or pend.cores,
+                ),
+                cached.subcode,
+            )
+        pend.cached.clear()
+
+    def _nack_cached(self, pend: PendingJoin) -> None:
+        for cached in pend.cached:
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_NACK,
+                    code=0,
+                    group=pend.group,
+                    origin=cached.origin,
+                    target_core=pend.target_core,
+                    cores=pend.cores,
+                ),
+                cached.downstream_address,
+            )
+        pend.cached.clear()
+
+    # -- JOIN_NACK -----------------------------------------------------------------
+
+    def _recv_join_nack(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        group = message.group
+        pend = self.pending.pop(group, None)
+        if pend is None:
+            return
+        pend.cancel_timers()
+        if pend.downstream_address is not None:
+            self._send_control(
+                message.with_fields(origin=pend.origin), pend.downstream_address
+            )
+            self._nack_cached(pend)
+            return
+        # We originated the join: try an alternate core (§6.1).
+        self.pending[group] = pend  # _join_attempt_failed pops it again
+        self._join_attempt_failed(group)
+
+    # -- NACTIVE rejoin loop detection (§6.3) -----------------------------------------
+
+    def _recv_nactive_rejoin(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        group = message.group
+        if self.router.owns_address(message.origin):
+            # We originated the corresponding ACTIVE_REJOIN: the
+            # message walked parent links back to us, so the rejoin
+            # created a loop.  Quit the freshly established parent.
+            self._record("loop_detected", group)
+            self._break_loop(group)
+            return
+        if self.is_primary_core_for(group):
+            # Ack directly to the converting router, whose address
+            # rides in the core-address field (§8.3.1).
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_ACK,
+                    code=int(JoinAckSubcode.REJOIN_NACTIVE),
+                    group=group,
+                    origin=message.origin,
+                    target_core=message.target_core,
+                    cores=self.cores_for(group),
+                ),
+                message.target_core,
+            )
+            return
+        entry = self.fib.get(group)
+        if entry is not None and entry.has_parent:
+            self._send_control(message, entry.parent_address)
+
+    #: Loop detections tolerated before giving up on a group entirely.
+    MAX_LOOP_BREAKS = 8
+
+    def _break_loop(self, group: IPv4Address) -> None:
+        entry = self.fib.get(group)
+        pend = self.pending.pop(group, None)
+        parent: Optional[IPv4Address] = None
+        if entry is not None and entry.has_parent:
+            parent = entry.parent_address
+            entry.clear_parent()
+        elif pend is not None:
+            parent = pend.upstream_address
+        if pend is not None:
+            pend.cancel_timers()
+        if parent is not None:
+            self._send_quit_to(group, parent)
+        self._loop_count[group] = self._loop_count.get(group, 0) + 1
+        if self._loop_count[group] > self.MAX_LOOP_BREAKS:
+            # Unicast routing stayed inconsistent for the whole retry
+            # budget: flush downstream so descendants re-attach on
+            # their own (typically along loop-free paths).
+            self._loop_count.pop(group, None)
+            self._give_up(group)
+            return
+        # Try again; the rejoin attempt's reconnect deadline still governs.
+        attempt = self.rejoins.get(group)
+        if attempt is None:
+            attempt = RejoinAttempt(
+                group=group,
+                started_at=self.router.scheduler.now,
+                cores=self.cores_for(group),
+            )
+            self.rejoins[group] = attempt
+        if attempt.expired(self.router.scheduler.now, self.timers.reconnect_timeout):
+            self._give_up(group)
+            return
+        self.router.scheduler.call_later(
+            self.timers.pend_join_interval, self._make_rejoin_retry(group)
+        )
+
+    def _make_rejoin_retry(self, group: IPv4Address) -> Callable[[], None]:
+        def retry() -> None:
+            attempt = self.rejoins.get(group)
+            if attempt is None or group in self.pending:
+                return
+            entry = self.fib.get(group)
+            if entry is not None and entry.has_parent:
+                return  # already reattached
+            if attempt.expired(
+                self.router.scheduler.now, self.timers.reconnect_timeout
+            ):
+                self._give_up(group)
+                return
+            core = attempt.advance_core()
+            subcode = (
+                JoinSubcode.REJOIN_ACTIVE
+                if entry is not None and entry.has_children
+                else JoinSubcode.ACTIVE_JOIN
+            )
+            self._flush_child_on_path(group, core)
+            self._originate_join(
+                group,
+                cores=attempt.cores,
+                target_core=core,
+                subcode=subcode,
+                origin=self.address,
+            )
+
+        return retry
+
+    # -- QUIT (§2.7) -------------------------------------------------------------------
+
+    def _maybe_quit(self, group: IPv4Address) -> None:
+        """Leaf router with no members left: remove ourselves (§2.7)."""
+        entry = self.fib.get(group)
+        if entry is None or entry.has_children:
+            return
+        if self.igmp.any_member_subnet(group):
+            return
+        if self.is_primary_core_for(group):
+            return  # the primary core is the permanent tree root; the
+            # core tree to secondaries is (re)built on demand (§1)
+        if group in self._quitting:
+            return
+        if not entry.has_parent:
+            self._clear_group(group)
+            return
+        self._quitting[group] = QUIT_RETRY_LIMIT
+        self._send_quit_to(group, entry.parent_address)
+        self._arm_quit_retry(group, entry.parent_address)
+
+    def _send_quit_to(self, group: IPv4Address, parent: IPv4Address) -> None:
+        self._send_control(
+            CBTControlMessage(
+                msg_type=MessageType.QUIT_REQUEST,
+                code=0,
+                group=group,
+                origin=self.address,
+            ),
+            parent,
+        )
+
+    def _arm_quit_retry(self, group: IPv4Address, parent: IPv4Address) -> None:
+        def retry() -> None:
+            remaining = self._quitting.get(group)
+            if remaining is None:
+                return
+            if remaining <= 1:
+                # Parent unresponsive: drop parent state unilaterally.
+                self._quitting.pop(group, None)
+                self._clear_group(group)
+                self._record("quit_forced", group)
+                return
+            self._quitting[group] = remaining - 1
+            self._send_quit_to(group, parent)
+            self._arm_quit_retry(group, parent)
+
+        self.router.scheduler.call_later(self.timers.pend_join_interval, retry)
+
+    def _recv_quit_request(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        entry = self.fib.get(message.group)
+        self._send_control(
+            CBTControlMessage(
+                msg_type=MessageType.QUIT_ACK,
+                code=0,
+                group=message.group,
+                origin=self.address,
+            ),
+            src,
+        )
+        if entry is None:
+            return
+        if entry.remove_child(src):
+            self._child_last_heard.pop((message.group, src), None)
+            # §2.7: the parent checks whether it can now quit in turn.
+            self._maybe_quit(message.group)
+
+    def _recv_quit_ack(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        if message.group in self._quitting:
+            self._quitting.pop(message.group, None)
+            self._clear_group(message.group)
+            self._record("quit", message.group)
+
+    # -- FLUSH_TREE ----------------------------------------------------------------------
+
+    def _send_flush_downstream(self, entry: FIBEntry) -> None:
+        for child in list(entry.children):
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.FLUSH_TREE,
+                    code=0,
+                    group=entry.group,
+                    origin=self.address,
+                ),
+                child,
+            )
+
+    def _recv_flush(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        group = message.group
+        entry = self.fib.get(group)
+        if entry is None:
+            return
+        if entry.parent_address != src:
+            return  # flushes are only honoured from the parent
+        self._send_flush_downstream(entry)
+        self._clear_group(group)
+        self._record("flushed", group)
+        # §2.7: a flushed router re-establishes itself if it still has
+        # directly connected subnets with group presence — no D-DR
+        # precondition (it held the group's tree state for those LANs).
+        member_vifs = self.igmp.database.interfaces_with(group)
+        if member_vifs:
+            cores = self.cores_for(group)
+            if cores:
+                origin = self.router.interface_for_vif(member_vifs[0]).address
+                self._originate_join(
+                    group,
+                    cores=cores,
+                    target_core=cores[0],
+                    subcode=JoinSubcode.ACTIVE_JOIN,
+                    origin=origin,
+                )
+
+    def _clear_group(self, group: IPv4Address) -> None:
+        entry = self.fib.get(group)
+        if entry is not None:
+            for child in list(entry.children):
+                self._child_last_heard.pop((group, child), None)
+        self.fib.remove(group)
+        self._parent_last_reply.pop(group, None)
+        self._loop_count.pop(group, None)
+        pend = self.pending.pop(group, None)
+        if pend is not None:
+            pend.cancel_timers()
+
+    # -- keepalives (§6) --------------------------------------------------------------------
+
+    def _echo_tick(self) -> None:
+        if self.aggregate_echoes:
+            # §8.4: one echo per parent, covering the aggregated groups
+            # as a (base, mask) range.
+            groups_by_parent: Dict[IPv4Address, List[IPv4Address]] = {}
+            for entry in self.fib:
+                if entry.has_parent:
+                    groups_by_parent.setdefault(entry.parent_address, []).append(
+                        entry.group
+                    )
+            for parent, groups in groups_by_parent.items():
+                base, mask = covering_prefix(groups)
+                self._send_echo(parent, group=base, aggregate=True, mask=mask)
+        else:
+            for entry in list(self.fib):
+                if entry.has_parent:
+                    self._send_echo(entry.parent_address, group=entry.group)
+        self._check_parents()
+
+    def _send_echo_for(self, entry: FIBEntry) -> None:
+        if entry.has_parent:
+            self._send_echo(
+                entry.parent_address,
+                group=entry.group,
+                aggregate=self.aggregate_echoes,
+                mask=IPv4Address("255.255.255.255") if self.aggregate_echoes else None,
+            )
+
+    def _send_echo(
+        self,
+        parent: IPv4Address,
+        group: IPv4Address,
+        aggregate: bool = False,
+        mask: Optional[IPv4Address] = None,
+    ) -> None:
+        route = self.router.best_route(parent)
+        src = route.interface.address if route is not None else self.address
+        self.stats.count_sent(MessageType.ECHO_REQUEST)
+        self.router.originate(
+            make_udp(
+                src=src,
+                dst=parent,
+                sport=CBT_AUX_PORT,
+                dport=CBT_AUX_PORT,
+                payload=self._wire(
+                    CBTControlMessage(
+                        msg_type=MessageType.ECHO_REQUEST,
+                        code=0,
+                        group=group,
+                        origin=self.address,
+                        aggregate=aggregate,
+                        group_mask=mask,
+                    )
+                ),
+            )
+        )
+
+    def _recv_echo_request(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        now = self.router.scheduler.now
+        if message.aggregate:
+            # §8.4: refresh every child relationship whose group falls
+            # inside the echo's (base, mask) range.
+            for entry in self.fib:
+                if src in entry.children and in_masked_range(
+                    entry.group, message.group, message.group_mask
+                ):
+                    self._child_last_heard[(entry.group, src)] = now
+        else:
+            entry = self.fib.get(message.group)
+            if entry is not None and src in entry.children:
+                self._child_last_heard[(message.group, src)] = now
+        reply_route = self.router.best_route(src)
+        reply_src = (
+            reply_route.interface.address if reply_route is not None else self.address
+        )
+        self.stats.count_sent(MessageType.ECHO_REPLY)
+        self.router.originate(
+            make_udp(
+                src=reply_src,
+                dst=src,
+                sport=CBT_AUX_PORT,
+                dport=CBT_AUX_PORT,
+                payload=self._wire(
+                    CBTControlMessage(
+                        msg_type=MessageType.ECHO_REPLY,
+                        code=0,
+                        group=message.group,
+                        origin=self.address,
+                        aggregate=message.aggregate,
+                        group_mask=message.group_mask,
+                    )
+                ),
+            )
+        )
+
+    def _recv_echo_reply(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        now = self.router.scheduler.now
+        if message.aggregate:
+            for entry in self.fib:
+                if entry.parent_address == src and in_masked_range(
+                    entry.group, message.group, message.group_mask
+                ):
+                    self._parent_last_reply[entry.group] = now
+        else:
+            entry = self.fib.get(message.group)
+            if entry is not None and entry.parent_address == src:
+                self._parent_last_reply[message.group] = now
+
+    def _check_parents(self) -> None:
+        now = self.router.scheduler.now
+        for entry in list(self.fib):
+            if not entry.has_parent:
+                continue
+            last = self._parent_last_reply.get(entry.group, now)
+            if now - last > self.timers.echo_timeout:
+                self._parent_failed(entry.group)
+
+    def _child_assert_tick(self) -> None:
+        now = self.router.scheduler.now
+        for entry in list(self.fib):
+            for child in list(entry.children):
+                last = self._child_last_heard.get((entry.group, child))
+                if last is None:
+                    continue
+                if now - last > self.timers.child_assert_expire:
+                    entry.remove_child(child)
+                    self._child_last_heard.pop((entry.group, child), None)
+                    self._record("child_expired", entry.group, detail=str(child))
+            self._maybe_quit(entry.group)
+
+    def _iff_scan_tick(self) -> None:
+        # §9 IFF-SCAN-INTERVAL: periodically re-check leaf status.
+        for entry in list(self.fib):
+            self._maybe_quit(entry.group)
+        # Coverage scan: a member LAN whose serving router died (G-DR
+        # failure) needs a fresh join from its D-DR; _maybe_join
+        # re-checks DR status, live announcers, and core knowledge.
+        for interface in self.router.interfaces:
+            if not interface.up:
+                continue
+            for group in self.igmp.database.groups_on(interface):
+                if group in self.fib or group in self.pending:
+                    continue
+                self._maybe_join(group, interface)
+
+    # -- parent failure and recovery (§6.1) --------------------------------------------------------
+
+    def _parent_failed(self, group: IPv4Address) -> None:
+        entry = self.fib.get(group)
+        if entry is None:
+            return
+        self._record("parent_lost", group, detail=str(entry.parent_address))
+        entry.clear_parent()
+        self._parent_last_reply.pop(group, None)
+        if not entry.has_children and not self.igmp.any_member_subnet(group):
+            self._clear_group(group)
+            return
+        cores = self.cores_for(group)
+        if not cores:
+            self._clear_group(group)
+            return
+        attempt = RejoinAttempt(
+            group=group, started_at=self.router.scheduler.now, cores=cores
+        )
+        self.rejoins[group] = attempt
+        subcode = (
+            JoinSubcode.REJOIN_ACTIVE
+            if entry.has_children
+            else JoinSubcode.ACTIVE_JOIN
+        )
+        core = attempt.current_core()
+        self._flush_child_on_path(group, core)
+        self._originate_join(
+            group,
+            cores=cores,
+            target_core=core,
+            subcode=subcode,
+            origin=self.address,
+        )
+
+    # -- HELLO / neighbour discovery ----------------------------------------------------------------
+
+    def _hello_tick(self) -> None:
+        now = self.router.scheduler.now
+        self.neighbours.expire(now, self.hello_hold)
+        # Forget G-DRs that stopped sending HELLOs: the LAN may need a
+        # fresh join from us (the IFF scan picks that up).
+        for (vif, group), address in list(self._gdr_known.items()):
+            if not self.neighbours.is_cbt_capable(vif, address):
+                del self._gdr_known[(vif, group)]
+        self._send_hellos()
+
+    def _send_hellos(self) -> None:
+        # Announce every group we are on-tree for: LAN peers use the
+        # announcements to avoid double-serving member subnets (a
+        # CBTv2-style extension; the -02/-03 draft leaves the
+        # mechanism open).  Groups ride in the five core slots, so
+        # large FIBs take several HELLOs.
+        on_tree_groups = self.fib.groups()
+        chunks: List[Tuple[IPv4Address, ...]] = [
+            tuple(on_tree_groups[i : i + 5])
+            for i in range(0, len(on_tree_groups), 5)
+        ] or [()]
+        for interface in self.router.interfaces:
+            if not interface.up:
+                continue
+            for chunk in chunks:
+                self.stats.count_sent(MessageType.HELLO)
+                interface.send(
+                    make_udp(
+                        src=interface.address,
+                        dst=ALL_CBT_ROUTERS,
+                        sport=CBT_PORT,
+                        dport=CBT_PORT,
+                        payload=self._wire(
+                            CBTControlMessage(
+                                msg_type=MessageType.HELLO,
+                                code=0,
+                                group=_ANY_GROUP,
+                                origin=interface.address,
+                                cores=chunk,
+                            )
+                        ),
+                        ttl=1,
+                    )
+                )
+
+    def _send_hello_on(self, interface: Interface) -> None:
+        """Immediate single-interface HELLO (new-neighbour introduction)."""
+        if not interface.up:
+            return
+        self.stats.count_sent(MessageType.HELLO)
+        interface.send(
+            make_udp(
+                src=interface.address,
+                dst=ALL_CBT_ROUTERS,
+                sport=CBT_PORT,
+                dport=CBT_PORT,
+                payload=self._wire(
+                    CBTControlMessage(
+                        msg_type=MessageType.HELLO,
+                        code=0,
+                        group=_ANY_GROUP,
+                        origin=interface.address,
+                        cores=tuple(self.fib.groups()[:5]),
+                    )
+                ),
+                ttl=1,
+            )
+        )
+
+    def _recv_hello(
+        self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
+    ) -> None:
+        now = self.router.scheduler.now
+        is_new = self.neighbours.is_new(arrival.vif, src)
+        self.neighbours.heard(arrival.vif, src, now, groups=message.cores)
+        if is_new:
+            # Introduce ourselves (and our tree announcements) right
+            # away so a restarted neighbour learns the LAN state fast.
+            self._send_hello_on(arrival)
+        self._maybe_yield_lan(arrival, src, message.cores)
+
+    def _maybe_yield_lan(
+        self,
+        arrival: Interface,
+        announcer: IPv4Address,
+        groups: Tuple[IPv4Address, ...],
+    ) -> None:
+        """Yield a member LAN to its D-DR (duplicate-delivery repair).
+
+        If the LAN's D-DR itself is on-tree for a group, and our only
+        reason to hold tree state for that group is this same LAN, we
+        are redundant: both of us would deliver onto the LAN.  The
+        leaf (us) quits; the D-DR serves the LAN.
+        """
+        if not groups:
+            return
+        if announcer != self.dr_election.default_dr_address(arrival):
+            return
+        if self.dr_election.is_default_dr(arrival):
+            return
+        for group in groups:
+            entry = self.fib.get(group)
+            if entry is None or entry.has_children or not entry.has_parent:
+                continue
+            if self.is_core_for(group):
+                continue
+            member_vifs = set(self.igmp.database.interfaces_with(group))
+            if member_vifs and not member_vifs <= {arrival.vif}:
+                continue  # we serve other LANs too; stay
+            self._record("yield_lan", group, detail=str(announcer))
+            if group not in self._quitting:
+                self._quitting[group] = QUIT_RETRY_LIMIT
+                self._send_quit_to(group, entry.parent_address)
+                self._arm_quit_retry(group, entry.parent_address)
+
+    # -- bookkeeping -----------------------------------------------------------------------------------
+
+    def _record(self, kind: str, group: IPv4Address, detail: str = "") -> None:
+        self.events.append(
+            ProtocolEvent(
+                time=self.router.scheduler.now, kind=kind, group=group, detail=detail
+            )
+        )

@@ -1,0 +1,152 @@
+"""Shared scenario builders used by tests, examples, and benchmarks.
+
+All scenario helpers are deterministic given a seed, join members at
+staggered times (so DR elections and HELLOs settle first), and run the
+event loop to a quiescent point before returning.
+"""
+
+from __future__ import annotations
+
+import random
+from ipaddress import IPv4Address
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.bootstrap import CBTDomain
+from repro.core.timers import CBTTimers
+from repro.baselines.dvmrp import DVMRPDomain
+from repro.igmp.router_side import IGMPConfig
+from repro.netsim.address import group_address
+from repro.topology.builder import Network
+
+#: Time (s) given to querier/DR elections and HELLOs before joins start.
+SETTLE_TIME = 3.0
+
+#: Fast timer profile for simulations that exercise many groups: the
+#: spec ratios are preserved (x0.1) so behaviour is unchanged, only
+#: quicker.
+FAST_TIMERS = CBTTimers().scaled(0.1)
+
+#: IGMP tuned for quick leave detection in scenario scripts.
+FAST_IGMP = IGMPConfig(
+    query_interval=30.0,
+    query_response_interval=3.0,
+    startup_query_interval=0.5,
+    last_member_query_interval=0.5,
+)
+
+
+def pick_members(network: Network, count: int, seed: int = 0) -> List[str]:
+    """Deterministically choose ``count`` member hosts of a realised net."""
+    hosts = sorted(network.hosts)
+    if count > len(hosts):
+        raise ValueError(f"asked for {count} members, only {len(hosts)} hosts")
+    rng = random.Random(seed)
+    return sorted(rng.sample(hosts, count))
+
+
+def settle(network: Network, until: float = SETTLE_TIME) -> None:
+    """Run elections/HELLOs for ``until`` seconds of simulated time."""
+    network.run(until=until)
+
+
+def build_cbt_group(
+    network: Network,
+    members: Sequence[str],
+    cores: Sequence[str],
+    group: Optional[IPv4Address] = None,
+    timers: CBTTimers = FAST_TIMERS,
+    mode: str = "cbt",
+    settle_time: float = SETTLE_TIME,
+    join_spacing: float = 0.05,
+    domain: Optional[CBTDomain] = None,
+) -> Tuple[CBTDomain, IPv4Address]:
+    """Stand up a CBT domain, join ``members``, and quiesce.
+
+    Returns the (domain, group address) pair.  Pass an existing
+    ``domain`` to add another group to a running domain.
+    """
+    if group is None:
+        group = group_address(0)
+    if domain is None:
+        domain = CBTDomain(network, timers=timers, mode=mode, igmp_config=FAST_IGMP)
+        domain.start()
+        settle(network, until=settle_time)
+    domain.create_group(group, cores=list(cores))
+    start = network.scheduler.now
+    for offset, member in enumerate(members):
+        network.scheduler.call_at(
+            start + offset * join_spacing,
+            _make_join(domain, member, group),
+        )
+    network.run(until=start + len(members) * join_spacing + 2.0)
+    return domain, group
+
+
+def _make_join(domain: CBTDomain, member: str, group: IPv4Address):
+    return lambda: domain.join_host(member, group)
+
+
+def build_dvmrp_group(
+    network: Network,
+    members: Sequence[str],
+    group: Optional[IPv4Address] = None,
+    prune_lifetime: float = 120.0,
+    settle_time: float = SETTLE_TIME,
+    domain: Optional[DVMRPDomain] = None,
+) -> Tuple[DVMRPDomain, IPv4Address]:
+    """Stand up a DVMRP domain and join ``members`` (no cores needed)."""
+    if group is None:
+        group = group_address(0)
+    if domain is None:
+        domain = DVMRPDomain(
+            network, prune_lifetime=prune_lifetime, igmp_config=FAST_IGMP
+        )
+        domain.start()
+        settle(network, until=settle_time)
+    start = network.scheduler.now
+    for offset, member in enumerate(members):
+        network.scheduler.call_at(
+            start + offset * 0.05,
+            _make_dvmrp_join(domain, member, group),
+        )
+    network.run(until=start + len(members) * 0.05 + 2.0)
+    return domain, group
+
+
+def _make_dvmrp_join(domain: DVMRPDomain, member: str, group: IPv4Address):
+    return lambda: domain.join_host(member, group)
+
+
+def send_data(
+    network: Network,
+    sender_host: str,
+    group: IPv4Address,
+    count: int = 1,
+    spacing: float = 0.01,
+    ttl: int = 64,
+) -> List[int]:
+    """Have a host multicast ``count`` data packets; returns their uids."""
+    from repro.netsim.packet import IPDatagram, PROTO_UDP, UDPDatagram
+
+    host = network.host(sender_host)
+    uids: List[int] = []
+    start = network.scheduler.now
+
+    def make_send(index: int):
+        def do_send() -> None:
+            datagram = IPDatagram(
+                src=host.interface.address,
+                dst=group,
+                proto=PROTO_UDP,
+                payload=UDPDatagram(sport=40000, dport=5000, payload=b"x" * 64),
+                ttl=ttl,
+            )
+            uids.append(datagram.uid)
+            host.originate(datagram)
+
+        return do_send
+
+    for i in range(count):
+        network.scheduler.call_at(start + i * spacing, make_send(i))
+    network.run(until=start + count * spacing + 2.0)
+    return uids

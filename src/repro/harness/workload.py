@@ -1,0 +1,110 @@
+"""Dynamic membership workloads (churn) for protocol experiments.
+
+Generates a deterministic schedule of joins and leaves on a
+:class:`CBTDomain` or :class:`DVMRPDomain` and collects the protocol's
+reaction — the input to the churn benchmark (E12): control traffic as
+a function of membership dynamics, which the paper argues is CBT's
+steady-state advantage (joins/quits touch one path; flood-and-prune
+re-floods on every new source and re-grafts on every arrival).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.topology.builder import Network
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change."""
+
+    time: float
+    host: str
+    action: str  # "join" or "leave"
+
+
+@dataclass
+class ChurnSchedule:
+    """A deterministic join/leave schedule over a host population."""
+
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    @property
+    def joins(self) -> int:
+        return sum(1 for e in self.events if e.action == "join")
+
+    @property
+    def leaves(self) -> int:
+        return sum(1 for e in self.events if e.action == "leave")
+
+    def members_at_end(self, initially: Sequence[str] = ()) -> List[str]:
+        """The membership set after every event has fired."""
+        members = set(initially)
+        for event in sorted(self.events, key=lambda e: e.time):
+            if event.action == "join":
+                members.add(event.host)
+            else:
+                members.discard(event.host)
+        return sorted(members)
+
+
+def generate_churn(
+    hosts: Sequence[str],
+    duration: float,
+    mean_interval: float,
+    seed: int = 0,
+    start: float = 0.0,
+) -> ChurnSchedule:
+    """Random alternating churn: at exponential-ish intervals a random
+    non-member joins or a random member leaves (coin flip, biased to
+    join when membership is low)."""
+    if mean_interval <= 0:
+        raise ValueError(f"mean_interval must be positive, got {mean_interval}")
+    rng = random.Random(seed)
+    members: set = set()
+    events: List[ChurnEvent] = []
+    t = start
+    while True:
+        t += rng.expovariate(1.0 / mean_interval)
+        if t >= start + duration:
+            break
+        want_join = not members or (
+            len(members) < len(hosts) and rng.random() < 0.6
+        )
+        if want_join:
+            candidate = rng.choice(sorted(set(hosts) - members))
+            members.add(candidate)
+            events.append(ChurnEvent(time=t, host=candidate, action="join"))
+        else:
+            candidate = rng.choice(sorted(members))
+            members.discard(candidate)
+            events.append(ChurnEvent(time=t, host=candidate, action="leave"))
+    return ChurnSchedule(events=events)
+
+
+def apply_churn(
+    network: Network,
+    domain,
+    group: IPv4Address,
+    schedule: ChurnSchedule,
+    settle_after: float = 30.0,
+) -> None:
+    """Schedule every event on the domain and run past the last one."""
+    last = 0.0
+    for event in schedule.events:
+        last = max(last, event.time)
+        if event.action == "join":
+            network.scheduler.call_at(
+                event.time,
+                (lambda h: (lambda: domain.join_host(h, group)))(event.host),
+            )
+        else:
+            network.scheduler.call_at(
+                event.time,
+                (lambda h: (lambda: domain.leave_host(h, group)))(event.host),
+            )
+    network.run(until=last + settle_after)

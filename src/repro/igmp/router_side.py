@@ -1,0 +1,306 @@
+"""Router-side IGMP: querier election and the membership database.
+
+The CBT spec leans on two IGMP behaviours (§2.3, §2.7):
+
+* **Querier election** — at start-up a router assumes it is the only
+  multicast router on each subnet and sends a few queries in short
+  succession; the lowest-addressed router wins querier duty.  In CBT
+  the querier *is* the default designated router (D-DR), so this
+  election carries no extra protocol overhead.
+* **Leave processing** — a leave triggers a group-specific query; if
+  no member responds within the last-member interval, membership on
+  the subnet expires, which is what ultimately lets a CBT router send
+  a QUIT_REQUEST upstream.
+
+Consumers (the CBT protocol, DVMRP baseline) subscribe to membership
+changes and core reports via listener callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.address import ALL_SYSTEMS
+from repro.netsim.engine import PeriodicTimer, Timer
+from repro.netsim.nic import Interface
+from repro.netsim.node import Node
+from repro.netsim.packet import IPDatagram, PROTO_IGMP
+from repro.igmp.messages import (
+    CoreReport,
+    Leave,
+    MembershipQuery,
+    MembershipReport,
+)
+
+
+@dataclass(frozen=True)
+class IGMPConfig:
+    """Tunable IGMP timing (defaults follow IGMPv2 conventions)."""
+
+    query_interval: float = 125.0
+    query_response_interval: float = 10.0
+    startup_query_count: int = 3
+    startup_query_interval: float = 1.0
+    last_member_query_interval: float = 1.0
+    last_member_query_count: int = 2
+    robustness: int = 2
+
+    @property
+    def membership_timeout(self) -> float:
+        return self.robustness * self.query_interval + self.query_response_interval
+
+    @property
+    def other_querier_timeout(self) -> float:
+        return (
+            self.robustness * self.query_interval
+            + self.query_response_interval / 2.0
+        )
+
+
+class _InterfaceState:
+    """Per-interface querier and membership state."""
+
+    def __init__(self) -> None:
+        self.querier = True
+        self.querier_address: Optional[IPv4Address] = None
+        self.other_querier_timer: Optional[Timer] = None
+        # group -> last report simulation time
+        self.members: Dict[IPv4Address, float] = {}
+        # group -> expiry timer
+        self.expiry_timers: Dict[IPv4Address, Timer] = {}
+        self.query_timer: Optional[PeriodicTimer] = None
+
+
+class MembershipDatabase:
+    """Read-only view of which groups are present on which interfaces."""
+
+    def __init__(self) -> None:
+        self._by_interface: Dict[int, set] = {}
+
+    def groups_on(self, interface: Interface) -> set:
+        return set(self._by_interface.get(interface.vif, set()))
+
+    def has_members(self, interface: Interface, group: IPv4Address) -> bool:
+        return group in self._by_interface.get(interface.vif, set())
+
+    def interfaces_with(self, group: IPv4Address) -> List[int]:
+        return [vif for vif, groups in self._by_interface.items() if group in groups]
+
+    def _add(self, interface: Interface, group: IPv4Address) -> bool:
+        groups = self._by_interface.setdefault(interface.vif, set())
+        if group in groups:
+            return False
+        groups.add(group)
+        return True
+
+    def _remove(self, interface: Interface, group: IPv4Address) -> bool:
+        groups = self._by_interface.get(interface.vif, set())
+        if group not in groups:
+            return False
+        groups.discard(group)
+        return True
+
+
+MembershipListener = Callable[[Interface, IPv4Address, bool], None]
+CoreReportListener = Callable[[Interface, CoreReport], None]
+
+
+class IGMPRouterAgent:
+    """IGMP speaker for a router: one agent covers all its interfaces."""
+
+    def __init__(self, router, config: Optional[IGMPConfig] = None) -> None:
+        self.router = router
+        self.config = config if config is not None else IGMPConfig()
+        self.database = MembershipDatabase()
+        self._states: Dict[int, _InterfaceState] = {}
+        self._membership_listeners: List[MembershipListener] = []
+        self._core_report_listeners: List[CoreReportListener] = []
+        self.queries_sent = 0
+        router.register_handler(PROTO_IGMP, self)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin querier duty on every interface (spec §2.3 start-up)."""
+        for interface in self.router.interfaces:
+            state = self._state_for(interface)
+            for i in range(self.config.startup_query_count):
+                self.router.scheduler.call_later(
+                    i * self.config.startup_query_interval,
+                    self._make_startup_query(interface),
+                )
+            ticker = PeriodicTimer(
+                self.router.scheduler,
+                self.config.query_interval,
+                self._make_periodic_query(interface),
+            )
+            state.query_timer = ticker
+            ticker.start()
+
+    def _make_startup_query(self, interface: Interface) -> Callable[[], None]:
+        return lambda: self._send_query(interface, group=None)
+
+    def _make_periodic_query(self, interface: Interface) -> Callable[[], None]:
+        def tick() -> None:
+            if self._state_for(interface).querier:
+                self._send_query(interface, group=None)
+
+        return tick
+
+    # -- subscriptions ---------------------------------------------------------
+
+    def on_membership_change(self, listener: MembershipListener) -> None:
+        """``listener(interface, group, present)`` on every transition."""
+        self._membership_listeners.append(listener)
+
+    def on_core_report(self, listener: CoreReportListener) -> None:
+        """``listener(interface, core_report)`` for each RP/Core-Report."""
+        self._core_report_listeners.append(listener)
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_querier(self, interface: Interface) -> bool:
+        return self._state_for(interface).querier
+
+    def querier_address(self, interface: Interface) -> IPv4Address:
+        state = self._state_for(interface)
+        if state.querier or state.querier_address is None:
+            return interface.address
+        return state.querier_address
+
+    def groups_on(self, interface: Interface) -> set:
+        return self.database.groups_on(interface)
+
+    def any_member_subnet(self, group: IPv4Address) -> bool:
+        """True if any directly connected subnet has ``group`` presence."""
+        return bool(self.database.interfaces_with(group))
+
+    # -- message handling -----------------------------------------------------------
+
+    def handle(self, node: Node, interface: Interface, datagram: IPDatagram) -> None:
+        message = datagram.payload
+        if isinstance(message, MembershipQuery):
+            self._handle_query(interface, datagram.src)
+        elif isinstance(message, MembershipReport):
+            self._handle_report(interface, message.group)
+        elif isinstance(message, Leave):
+            self._handle_leave(interface, message.group)
+        elif isinstance(message, CoreReport):
+            self._handle_core_report(interface, message)
+
+    def _handle_query(self, interface: Interface, source: IPv4Address) -> None:
+        state = self._state_for(interface)
+        if source == interface.address:
+            return
+        if source < interface.address:
+            # Lower-addressed querier wins (spec §2.3); never replace a
+            # known querier with a higher-addressed one.
+            state.querier = False
+            if state.querier_address is None or source <= state.querier_address:
+                state.querier_address = source
+                if state.other_querier_timer is not None:
+                    state.other_querier_timer.cancel()
+                state.other_querier_timer = self.router.scheduler.call_later(
+                    self.config.other_querier_timeout,
+                    self._make_querier_resume(interface),
+                )
+
+    def _make_querier_resume(self, interface: Interface) -> Callable[[], None]:
+        def resume() -> None:
+            state = self._state_for(interface)
+            state.querier = True
+            state.querier_address = None
+
+        return resume
+
+    def _handle_report(self, interface: Interface, group: IPv4Address) -> None:
+        if not group.is_multicast:
+            return
+        state = self._state_for(interface)
+        state.members[group] = self.router.scheduler.now
+        self._restart_expiry(interface, group, self.config.membership_timeout)
+        if self.database._add(interface, group):
+            self._notify_membership(interface, group, present=True)
+
+    def _handle_leave(self, interface: Interface, group: IPv4Address) -> None:
+        # Every router shortens its membership expiry on hearing a
+        # leave (it will observe the absence of responses), but only
+        # the querier sends the group-specific queries (spec §2.7).
+        state = self._state_for(interface)
+        if not self.database.has_members(interface, group):
+            return
+        if state.querier:
+            for i in range(self.config.last_member_query_count):
+                self.router.scheduler.call_later(
+                    i * self.config.last_member_query_interval,
+                    self._make_group_query(interface, group),
+                )
+        timeout = (
+            self.config.last_member_query_count
+            * self.config.last_member_query_interval
+            + self.config.query_response_interval
+        )
+        self._restart_expiry(interface, group, timeout)
+
+    def _make_group_query(self, interface: Interface, group: IPv4Address) -> Callable[[], None]:
+        return lambda: self._send_query(interface, group=group)
+
+    def _handle_core_report(self, interface: Interface, report: CoreReport) -> None:
+        for listener in self._core_report_listeners:
+            listener(interface, report)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _state_for(self, interface: Interface) -> _InterfaceState:
+        state = self._states.get(interface.vif)
+        if state is None:
+            state = _InterfaceState()
+            self._states[interface.vif] = state
+        return state
+
+    def _send_query(self, interface: Interface, group: Optional[IPv4Address]) -> None:
+        self.queries_sent += 1
+        max_response = (
+            self.config.query_response_interval
+            if group is None
+            else self.config.last_member_query_interval
+        )
+        destination = ALL_SYSTEMS if group is None else group
+        interface.send(
+            IPDatagram(
+                src=interface.address,
+                dst=destination,
+                proto=PROTO_IGMP,
+                payload=MembershipQuery(group=group, max_response_time=max_response),
+                ttl=1,
+            )
+        )
+
+    def _restart_expiry(self, interface: Interface, group: IPv4Address, timeout: float) -> None:
+        state = self._state_for(interface)
+        existing = state.expiry_timers.get(group)
+        if existing is not None:
+            existing.cancel()
+        state.expiry_timers[group] = self.router.scheduler.call_later(
+            timeout, self._make_expiry(interface, group, timeout)
+        )
+
+    def _make_expiry(self, interface: Interface, group: IPv4Address, timeout: float) -> Callable[[], None]:
+        def expire() -> None:
+            state = self._state_for(interface)
+            last_heard = state.members.get(group)
+            if last_heard is None:
+                return
+            if self.router.scheduler.now - last_heard < timeout - 1e-9:
+                return  # a report arrived since this timer was armed
+            state.members.pop(group, None)
+            if self.database._remove(interface, group):
+                self._notify_membership(interface, group, present=False)
+
+        return expire
+
+    def _notify_membership(self, interface: Interface, group: IPv4Address, present: bool) -> None:
+        for listener in self._membership_listeners:
+            listener(interface, group, present)

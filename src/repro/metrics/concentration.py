@@ -1,0 +1,93 @@
+"""Traffic concentration metrics (experiment E5).
+
+A shared tree funnels every sender's traffic onto the same edges, so
+links near the core carry the superposition of all flows — the
+traffic-concentration effect the paper discusses as CBT's main
+data-plane drawback.  Per-source trees spread the same aggregate load
+over more links.
+
+``link_loads`` counts, per edge, how many sender flows cross it given
+a tree (or one tree per sender); ``traffic_concentration`` reduces
+that to the paper's headline numbers (max link load, plus a mean for
+context).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.topology.graph import Tree
+
+
+def _flow_edges(tree: Tree, sender: str, receivers: Sequence[str]) -> set:
+    """Edges of ``tree`` that sender->receiver traffic actually crosses.
+
+    On a bidirectional shared tree a packet from a sender reaches every
+    tree node; the edges crossed are those of the minimal subtree
+    spanning the sender and the receivers.  We compute it by walking
+    each receiver's tree path back toward the sender.
+    """
+    adjacency: Dict[str, List[Tuple[str, float]]] = {}
+    for u, v in tree.edges:
+        adjacency.setdefault(u, []).append((v, 1.0))
+        adjacency.setdefault(v, []).append((u, 1.0))
+    # BFS/Dijkstra from the sender over tree edges, keeping parents.
+    import heapq
+
+    dist = {sender: 0.0}
+    prev: Dict[str, str] = {}
+    heap = [(0.0, sender)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d > dist.get(node, float("inf")):
+            continue
+        for neighbour, w in adjacency.get(node, ()):
+            nd = d + w
+            if nd < dist.get(neighbour, float("inf")):
+                dist[neighbour] = nd
+                prev[neighbour] = node
+                heapq.heappush(heap, (nd, neighbour))
+    edges = set()
+    for receiver in receivers:
+        if receiver == sender or receiver not in dist:
+            continue
+        node = receiver
+        while node != sender:
+            parent = prev[node]
+            edges.add((node, parent) if node <= parent else (parent, node))
+            node = parent
+    return edges
+
+
+def link_loads(
+    trees: Mapping[str, Tree], receivers: Sequence[str]
+) -> Dict[Tuple[str, str], int]:
+    """Flows per edge; ``trees`` maps each sender to the tree it uses.
+
+    For CBT pass the same shared tree for every sender; for per-source
+    schemes pass each sender's own tree.
+    """
+    loads: Dict[Tuple[str, str], int] = {}
+    for sender, tree in trees.items():
+        for edge in _flow_edges(tree, sender, receivers):
+            loads[edge] = loads.get(edge, 0) + 1
+    return loads
+
+
+def traffic_concentration(
+    trees: Mapping[str, Tree], receivers: Sequence[str]
+) -> Tuple[int, float]:
+    """(max, mean) flows per loaded link."""
+    loads = link_loads(trees, receivers)
+    if not loads:
+        return (0, 0.0)
+    values = list(loads.values())
+    return (max(values), mean(values))
+
+
+def load_distribution(
+    trees: Mapping[str, Tree], receivers: Sequence[str]
+) -> List[int]:
+    """Sorted (descending) per-link flow counts — the E5 series."""
+    return sorted(link_loads(trees, receivers).values(), reverse=True)

@@ -1,0 +1,86 @@
+"""Control and bandwidth overhead (experiment E2).
+
+Flood-and-prune pushes *data* onto links with no receivers behind them
+and answers with prune-state control traffic; CBT's explicit joins
+touch only the path between a new member and the tree.  These helpers
+extract both quantities from domains and packet traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.constants import CBT_AUX_PORT, CBT_PORT
+from repro.netsim.packet import PROTO_UDP
+from repro.netsim.trace import PacketTrace
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Message/byte counts attributable to a protocol's operation."""
+
+    control_messages: int
+    control_bytes: int
+    data_transmissions: int
+    data_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.control_bytes + self.data_bytes
+
+
+def cbt_control_overhead(domain, exclude_hello: bool = True) -> Dict[str, int]:
+    """Per-message-type totals across a CBT domain (sent side)."""
+    totals: Dict[str, int] = {}
+    for protocol in domain.protocols.values():
+        for name, count in protocol.stats.sent.items():
+            if exclude_hello and name == "HELLO":
+                continue
+            totals[name] = totals.get(name, 0) + count
+    return totals
+
+
+def trace_overhead(trace: PacketTrace, data_protos=(PROTO_UDP,)) -> OverheadReport:
+    """Split a trace's transmissions into CBT control vs data.
+
+    UDP to the CBT ports counts as control; other configured protocol
+    numbers count as data (benchmarks pass the protocol number their
+    workload uses).
+    """
+    control_messages = 0
+    control_bytes = 0
+    data_transmissions = 0
+    data_bytes = 0
+    for record in trace.transmissions():
+        datagram = record.datagram
+        size = datagram.size_bytes()
+        udp = datagram.payload
+        dport = getattr(udp, "dport", None)
+        if datagram.proto == PROTO_UDP and dport in (CBT_PORT, CBT_AUX_PORT):
+            control_messages += 1
+            control_bytes += size
+        elif datagram.proto in data_protos:
+            data_transmissions += 1
+            data_bytes += size
+    return OverheadReport(
+        control_messages=control_messages,
+        control_bytes=control_bytes,
+        data_transmissions=data_transmissions,
+        data_bytes=data_bytes,
+    )
+
+
+def deliveries_per_packet(trace: PacketTrace, uid: int, member_hosts) -> int:
+    """How many member hosts received packet ``uid`` (delivery check)."""
+    count = 0
+    for host in member_hosts:
+        if any(d.uid == uid or _inner_uid(d) == uid for d in host.delivered):
+            count += 1
+    return count
+
+
+def _inner_uid(datagram) -> Optional[int]:
+    payload = getattr(datagram, "payload", None)
+    inner = getattr(payload, "inner", None)
+    return getattr(inner, "uid", None)

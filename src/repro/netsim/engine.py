@@ -1,0 +1,218 @@
+"""Deterministic discrete-event scheduler.
+
+The scheduler is a priority queue keyed on ``(time, sequence)`` so that
+events scheduled for the same instant fire in the order they were
+scheduled.  Determinism matters: protocol traces captured by the tests
+must be byte-for-byte reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SchedulerError(Exception):
+    """Raised on invalid scheduler operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Timer:
+    """Handle for a scheduled event that can be cancelled or restarted.
+
+    A ``Timer`` is returned by :meth:`Scheduler.call_later`.  Cancelling
+    an already-fired or already-cancelled timer is a no-op, which keeps
+    protocol code free of "is it still pending?" bookkeeping.
+    """
+
+    def __init__(self, scheduler: "Scheduler", event: _Event) -> None:
+        self._scheduler = scheduler
+        self._event = event
+
+    @property
+    def fires_at(self) -> float:
+        """Absolute simulation time at which the timer fires."""
+        return self._event.time
+
+    @property
+    def pending(self) -> bool:
+        """True while the timer has neither fired nor been cancelled."""
+        return not self._event.cancelled and self._event.time >= self._scheduler.now
+
+    def cancel(self) -> None:
+        """Cancel the timer; safe to call at any time."""
+        self._event.cancelled = True
+
+    def restart(self, delay: float) -> "Timer":
+        """Cancel this timer and schedule its callback again after ``delay``."""
+        self.cancel()
+        return self._scheduler.call_later(delay, self._event.callback)
+
+
+class Scheduler:
+    """Priority-queue discrete-event loop.
+
+    Usage::
+
+        sched = Scheduler()
+        sched.call_later(1.5, lambda: print("fires at t=1.5"))
+        sched.run(until=10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule {delay}s in the past")
+        return self.call_at(self._now + delay, callback)
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SchedulerError(
+                f"cannot schedule at t={time}; current time is t={self._now}"
+            )
+        event = _Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return Timer(self, event)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events in time order.
+
+        Stops when the queue drains, when the next event lies beyond
+        ``until`` (time advances to ``until`` in that case), or after
+        ``max_events`` events as a runaway guard.  Returns the final
+        simulation time.
+        """
+        processed = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            processed += 1
+            if processed >= max_events:
+                raise SchedulerError(
+                    f"exceeded max_events={max_events}; likely a protocol loop"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain; returns the final simulation time."""
+        return self.run(until=None, max_events=max_events)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+
+class PeriodicTimer:
+    """Re-arming timer that invokes a callback every ``interval`` seconds.
+
+    Protocol keepalives (CBT echo requests, IGMP queries, DVMRP
+    re-floods) are all periodic; this wrapper owns the re-arming so the
+    protocol code only supplies the tick callback.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise SchedulerError(f"interval must be positive, got {interval}")
+        self._scheduler = scheduler
+        self._interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._timer: Optional[Timer] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def start(self, immediately: bool = False) -> None:
+        """Begin ticking; with ``immediately`` the first tick is at t+0."""
+        self._running = True
+        delay = 0.0 if immediately else self._interval + self._jitter()
+        self._timer = self._scheduler.call_later(delay, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def reschedule(self, interval: float) -> None:
+        """Change the tick interval; takes effect from the next arming."""
+        if interval <= 0:
+            raise SchedulerError(f"interval must be positive, got {interval}")
+        self._interval = interval
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._timer = self._scheduler.call_later(
+                self._interval + self._jitter(), self._tick
+            )
+
+
+def run_phases(scheduler: Scheduler, phases: List[Tuple[float, Callable[[], Any]]]) -> None:
+    """Schedule a list of ``(at_time, action)`` pairs and run to idle.
+
+    Convenience for tests and examples that script a scenario:
+    "at t=1 host A joins, at t=5 host B leaves, ...".
+    """
+    for at_time, action in phases:
+        scheduler.call_at(at_time, action)
+    scheduler.run_until_idle()

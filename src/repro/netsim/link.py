@@ -1,0 +1,204 @@
+"""Links: multi-access subnets and point-to-point links.
+
+A :class:`Subnet` models a broadcast LAN (the spec's S1..S15): a
+multicast transmission reaches every other attached interface; a
+unicast transmission reaches the attached interface owning the
+destination (or, for forwarding through the LAN, the named next hop).
+A :class:`PointToPointLink` is a two-interface subnet with a /30-style
+prefix; the spec treats tunnels and point-to-point links identically
+for forwarding purposes (§5).
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address, IPv4Network
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.engine import Scheduler
+from repro.netsim.nic import Interface
+from repro.netsim.packet import IPDatagram
+from repro.netsim.trace import PacketTrace, TraceRecord
+
+#: Default propagation delay in seconds for LAN segments.
+DEFAULT_LAN_DELAY = 0.001
+
+#: Default propagation delay for point-to-point / WAN links.
+DEFAULT_P2P_DELAY = 0.010
+
+
+class Link:
+    """Base link: a named broadcast domain with delay, cost and loss.
+
+    ``cost`` is the unicast routing metric of traversing the link;
+    ``delay`` the propagation latency; ``loss`` an optional predicate
+    deciding, per datagram, whether it is dropped in flight.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network: IPv4Network,
+        scheduler: Scheduler,
+        trace: Optional[PacketTrace] = None,
+        delay: float = DEFAULT_LAN_DELAY,
+        cost: float = 1.0,
+        loss: Optional[Callable[[IPDatagram], bool]] = None,
+        bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        self.name = name
+        self.network = network
+        self.scheduler = scheduler
+        self.trace = trace if trace is not None else PacketTrace(enabled=False)
+        self.delay = delay
+        self.cost = cost
+        self.loss = loss
+        #: Optional capacity: transmissions serialise at this rate and
+        #: queue FIFO behind one another (None = infinite capacity).
+        self.bandwidth_bps = bandwidth_bps
+        self._busy_until = 0.0
+        self.up = True
+        self.interfaces: List[Interface] = []
+        self._by_address: Dict[IPv4Address, Interface] = {}
+        self.tx_count = 0
+        self.tx_bytes = 0
+        self.queued_time = 0.0
+
+    def __repr__(self) -> str:
+        members = ",".join(i.node.name for i in self.interfaces)
+        return f"{type(self).__name__}({self.name} {self.network} [{members}])"
+
+    def attach(self, interface: Interface) -> None:
+        """Connect an interface; its address must be unique on the link."""
+        if interface.address in self._by_address:
+            raise ValueError(
+                f"duplicate address {interface.address} on link {self.name}"
+            )
+        if interface.network != self.network:
+            raise ValueError(
+                f"interface network {interface.network} != link network "
+                f"{self.network}"
+            )
+        self.interfaces.append(interface)
+        self._by_address[interface.address] = interface
+        interface.attach(self)
+
+    def interface_by_address(self, address: IPv4Address) -> Optional[Interface]:
+        return self._by_address.get(address)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively raise or fail the link."""
+        self.up = up
+
+    # -- transmission ---------------------------------------------------
+
+    def transmit(
+        self,
+        sender: Interface,
+        datagram: IPDatagram,
+        link_dst: Optional[IPv4Address] = None,
+    ) -> None:
+        """Deliver ``datagram`` after the link delay.
+
+        Multicast (or ``link_dst is None`` broadcast) goes to every
+        other attached interface; unicast goes to the interface owning
+        ``link_dst`` (defaulting to the datagram's destination when it
+        is on this subnet).
+        """
+        if not self.up:
+            self._record("drop", sender, datagram, note="link down")
+            return
+        if self.loss is not None and self.loss(datagram):
+            self._record("drop", sender, datagram, note="loss")
+            return
+        self.tx_count += 1
+        self.tx_bytes += datagram.size_bytes()
+        self._record("tx", sender, datagram)
+        extra_delay = 0.0
+        if self.bandwidth_bps is not None:
+            # FIFO serialisation: wait for the link to free up, then
+            # occupy it for the packet's transmission time.
+            now = self.scheduler.now
+            start = max(now, self._busy_until)
+            serialisation = datagram.size_bytes() * 8 / self.bandwidth_bps
+            self._busy_until = start + serialisation
+            self.queued_time += start - now
+            extra_delay = (start - now) + serialisation
+        if datagram.is_multicast or (link_dst is None and datagram.dst not in self.network):
+            receivers = [i for i in self.interfaces if i is not sender and i.up]
+        else:
+            target = link_dst if link_dst is not None else datagram.dst
+            receiver = self._by_address.get(target)
+            receivers = [receiver] if receiver is not None and receiver.up else []
+            if not receivers:
+                self._record("drop", sender, datagram, note=f"no host {target}")
+                return
+        for receiver in receivers:
+            self.scheduler.call_later(
+                self.delay + extra_delay, _make_delivery(self, receiver, datagram)
+            )
+
+    def deliver(self, receiver: Interface, datagram: IPDatagram) -> None:
+        if not self.up or not receiver.up:
+            self._record("drop", receiver, datagram, note="down at delivery")
+            return
+        self.trace.record(
+            TraceRecord(
+                time=self.scheduler.now,
+                kind="rx",
+                link_name=self.name,
+                node_name=receiver.node.name,
+                datagram=datagram,
+            )
+        )
+        receiver.node.receive(receiver, datagram)
+
+    def _record(self, kind: str, interface: Interface, datagram: IPDatagram, note: str = "") -> None:
+        self.trace.record(
+            TraceRecord(
+                time=self.scheduler.now,
+                kind=kind,
+                link_name=self.name,
+                node_name=interface.node.name,
+                datagram=datagram,
+                note=note,
+            )
+        )
+
+
+def _make_delivery(link: Link, receiver: Interface, datagram: IPDatagram) -> Callable[[], None]:
+    """Bind loop variables for the delayed delivery callback."""
+    return lambda: link.deliver(receiver, datagram)
+
+
+class Subnet(Link):
+    """Multi-access broadcast LAN (default 1 ms delay)."""
+
+
+class PointToPointLink(Link):
+    """Two-party link (default 10 ms delay).
+
+    Enforces at most two attached interfaces; useful for WAN hops and
+    CBT tunnels.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("delay", DEFAULT_P2P_DELAY)
+        super().__init__(*args, **kwargs)
+
+    def attach(self, interface: Interface) -> None:
+        if len(self.interfaces) >= 2:
+            raise ValueError(f"{self.name}: point-to-point link already full")
+        super().attach(interface)
+
+    def peer_of(self, interface: Interface) -> Optional[Interface]:
+        """The other endpoint, or None if not yet attached."""
+        for other in self.interfaces:
+            if other is not interface:
+                return other
+        return None

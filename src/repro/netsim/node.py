@@ -1,0 +1,123 @@
+"""Nodes: the base class shared by hosts and routers.
+
+A node owns interfaces and dispatches received datagrams to protocol
+handlers registered per IP protocol number.  Routing/forwarding policy
+lives in subclasses (:class:`repro.routing.table.RoutedNode`,
+:class:`repro.core.router.CBTRouter`, ...), keeping this base minimal.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address, IPv4Network
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.netsim.engine import Scheduler
+from repro.netsim.link import Link
+from repro.netsim.nic import Interface
+from repro.netsim.packet import IPDatagram
+
+
+class ProtocolHandler(Protocol):
+    """Anything that can consume a datagram delivered to a node."""
+
+    def handle(self, node: "Node", interface: Interface, datagram: IPDatagram) -> None:
+        """Process ``datagram`` received on ``interface``."""
+        ...  # pragma: no cover
+
+
+class _CallableHandler:
+    """Adapts a bare function to the ProtocolHandler protocol."""
+
+    def __init__(self, fn: Callable[["Node", Interface, IPDatagram], None]) -> None:
+        self._fn = fn
+
+    def handle(self, node: "Node", interface: Interface, datagram: IPDatagram) -> None:
+        self._fn(node, interface, datagram)
+
+
+class Node:
+    """A host or router identified by ``name`` with one or more interfaces."""
+
+    def __init__(self, name: str, scheduler: Scheduler) -> None:
+        self.name = name
+        self.scheduler = scheduler
+        self.interfaces: List[Interface] = []
+        self._handlers: Dict[int, ProtocolHandler] = {}
+        self._default_handler: Optional[ProtocolHandler] = None
+        self.rx_count = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+    # -- interface management -------------------------------------------
+
+    def add_interface(
+        self, address: IPv4Address, network: IPv4Network, link: Link, mode: str = "native"
+    ) -> Interface:
+        """Create an interface on ``link`` with the given address."""
+        interface = Interface(
+            node=self,
+            vif=len(self.interfaces),
+            address=address,
+            network=network,
+            mode=mode,
+        )
+        self.interfaces.append(interface)
+        link.attach(interface)
+        return interface
+
+    def interface_for_vif(self, vif: int) -> Interface:
+        return self.interfaces[vif]
+
+    def interface_on(self, network: IPv4Network) -> Optional[Interface]:
+        """The interface attached to ``network``, if any."""
+        for interface in self.interfaces:
+            if interface.network == network:
+                return interface
+        return None
+
+    def interface_toward(self, address: IPv4Address) -> Optional[Interface]:
+        """The directly connected interface whose subnet contains ``address``."""
+        for interface in self.interfaces:
+            if interface.on_same_network(address):
+                return interface
+        return None
+
+    def owns_address(self, address: IPv4Address) -> bool:
+        return any(i.address == address for i in self.interfaces)
+
+    @property
+    def primary_address(self) -> IPv4Address:
+        """Lowest interface address; the node's protocol identity.
+
+        The spec breaks DR/querier ties on "lowest address", so the
+        identity must be stable and comparable.
+        """
+        if not self.interfaces:
+            raise RuntimeError(f"{self.name} has no interfaces")
+        return min(i.address for i in self.interfaces)
+
+    # -- protocol dispatch ------------------------------------------------
+
+    def register_handler(
+        self,
+        proto: int,
+        handler,
+    ) -> None:
+        """Register a handler for IP protocol ``proto``."""
+        if callable(handler) and not hasattr(handler, "handle"):
+            handler = _CallableHandler(handler)
+        self._handlers[proto] = handler
+
+    def register_default_handler(self, handler) -> None:
+        """Handler for protocols without a specific registration."""
+        if callable(handler) and not hasattr(handler, "handle"):
+            handler = _CallableHandler(handler)
+        self._default_handler = handler
+
+    def receive(self, interface: Interface, datagram: IPDatagram) -> None:
+        """Entry point invoked by links on delivery."""
+        self.rx_count += 1
+        handler = self._handlers.get(datagram.proto, self._default_handler)
+        if handler is not None:
+            handler.handle(self, interface, datagram)

@@ -1,0 +1,196 @@
+"""Link-state routing: Dijkstra over the simulated topology.
+
+Every router gets a full shortest-path tree over the router graph and a
+route per subnet prefix.  Recomputation is triggered explicitly (tests
+and failure benchmarks call :meth:`LinkStateRouting.recompute` after
+flipping links), mirroring the converged-unicast-routing assumption the
+CBT spec makes.
+
+Asymmetry injection: per-(router, link) cost overrides let tests create
+paths where A routes to B one way and B routes back another — the
+transient-asymmetry situation §2.6 of the spec argues CBT tolerates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from ipaddress import IPv4Address
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.netsim.link import Link
+from repro.routing.table import Route, Router
+
+
+class LinkStateRouting:
+    """Computes and installs routing tables for a set of routers."""
+
+    def __init__(self, routers: Iterable[Router], links: Iterable[Link]) -> None:
+        self.routers: List[Router] = list(routers)
+        self.links: List[Link] = list(links)
+        # (router name, link name) -> cost override
+        self._cost_overrides: Dict[Tuple[str, str], float] = {}
+        self.recompute_count = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def add_router(self, router: Router) -> None:
+        self.routers.append(router)
+
+    def add_link(self, link: Link) -> None:
+        self.links.append(link)
+
+    def override_cost(self, router: Router, link: Link, cost: float) -> None:
+        """Make ``router`` see ``link`` at ``cost`` (asymmetry injection)."""
+        if cost <= 0:
+            raise ValueError(f"cost must be positive, got {cost}")
+        self._cost_overrides[(router.name, link.name)] = cost
+
+    def clear_overrides(self) -> None:
+        self._cost_overrides.clear()
+
+    def _link_cost(self, router: Router, link: Link) -> float:
+        return self._cost_overrides.get((router.name, link.name), link.cost)
+
+    # -- computation ---------------------------------------------------------
+
+    def recompute(self) -> None:
+        """Rebuild every router's routing table from current link state."""
+        self.recompute_count += 1
+        adjacency = self._build_adjacency()
+        for router in self.routers:
+            self._compute_for(router, adjacency)
+
+    def _build_adjacency(self) -> Dict[str, List[Tuple[str, Link]]]:
+        """router name -> [(neighbour router name, connecting link)]."""
+        adjacency: Dict[str, List[Tuple[str, Link]]] = {
+            router.name: [] for router in self.routers
+        }
+        router_names = set(adjacency)
+        for link in self.links:
+            if not link.up:
+                continue
+            attached = [
+                interface
+                for interface in link.interfaces
+                if interface.node.name in router_names and interface.up
+            ]
+            for a in attached:
+                for b in attached:
+                    if a is not b:
+                        adjacency[a.node.name].append((b.node.name, link))
+        return adjacency
+
+    def _compute_for(
+        self, source: Router, adjacency: Dict[str, List[Tuple[str, Link]]]
+    ) -> None:
+        # Dijkstra over router names, cost applied on the egress link.
+        dist: Dict[str, float] = {source.name: 0.0}
+        first_hop: Dict[str, Tuple[Link, str]] = {}  # dest -> (egress link, nbr name)
+        visited: set = set()
+        heap: List[Tuple[float, str]] = [(0.0, source.name)]
+        routers_by_name = {router.name: router for router in self.routers}
+
+        while heap:
+            d, name = heapq.heappop(heap)
+            if name in visited:
+                continue
+            visited.add(name)
+            for neighbour, link in adjacency.get(name, ()):
+                cost = self._link_cost(routers_by_name[name], link)
+                nd = d + cost
+                if nd < dist.get(neighbour, float("inf")):
+                    dist[neighbour] = nd
+                    if name == source.name:
+                        first_hop[neighbour] = (link, neighbour)
+                    else:
+                        first_hop[neighbour] = first_hop[name]
+                    heapq.heappush(heap, (nd, neighbour))
+
+        self._install_routes(source, dist, first_hop, routers_by_name)
+
+    def _install_routes(
+        self,
+        source: Router,
+        dist: Dict[str, float],
+        first_hop: Dict[str, Tuple[Link, str]],
+        routers_by_name: Dict[str, Router],
+    ) -> None:
+        source.table.clear()
+        own_networks = {interface.network for interface in source.interfaces}
+        for link in self.links:
+            if link.network in own_networks:
+                continue  # directly connected; handled by interface_toward()
+            best: Optional[Route] = None
+            for interface in link.interfaces:
+                attached = interface.node.name
+                if attached not in dist or attached == source.name:
+                    continue
+                metric = dist[attached]
+                if best is not None and metric >= best.metric:
+                    continue
+                egress_link, nbr_name = first_hop[attached]
+                egress_iface = next(
+                    i for i in source.interfaces if i.link is egress_link
+                )
+                nbr_router = routers_by_name[nbr_name]
+                nbr_iface = next(
+                    i for i in nbr_router.interfaces if i.link is egress_link
+                )
+                best = Route(
+                    prefix=link.network,
+                    interface=egress_iface,
+                    next_hop=nbr_iface.address,
+                    metric=metric,
+                )
+            if best is not None:
+                source.table.install(best)
+
+    # -- analysis helpers ----------------------------------------------------
+
+    def path(self, src: Router, dst_address: IPv4Address, max_hops: int = 64) -> List[Router]:
+        """Router-level path ``src`` would forward along toward an address.
+
+        Used by placement heuristics and tests; follows installed
+        routes, so it reflects overrides and failures after recompute.
+        """
+        routers_by_address: Dict[IPv4Address, Router] = {}
+        for router in self.routers:
+            for interface in router.interfaces:
+                routers_by_address[interface.address] = router
+        path = [src]
+        current = src
+        for _ in range(max_hops):
+            if current.owns_address(dst_address) or current.interface_toward(
+                dst_address
+            ):
+                return path
+            route = current.table.lookup(dst_address)
+            if route is None or route.next_hop is None:
+                return path
+            nxt = routers_by_address.get(route.next_hop)
+            if nxt is None or nxt in path:
+                return path
+            path.append(nxt)
+            current = nxt
+        return path
+
+    def distance(self, src: Router, dst: Router) -> float:
+        """Unicast metric distance between two routers (inf if cut off)."""
+        adjacency = self._build_adjacency()
+        dist: Dict[str, float] = {src.name: 0.0}
+        routers_by_name = {router.name: router for router in self.routers}
+        heap: List[Tuple[float, str]] = [(0.0, src.name)]
+        visited: set = set()
+        while heap:
+            d, name = heapq.heappop(heap)
+            if name in visited:
+                continue
+            if name == dst.name:
+                return d
+            visited.add(name)
+            for neighbour, link in adjacency.get(name, ()):
+                nd = d + self._link_cost(routers_by_name[name], link)
+                if nd < dist.get(neighbour, float("inf")):
+                    dist[neighbour] = nd
+                    heapq.heappush(heap, (nd, neighbour))
+        return float("inf")

@@ -1,0 +1,226 @@
+"""Routing tables, routed nodes, hosts, and routers.
+
+:class:`RoutedNode` adds IP origination/forwarding on top of
+:class:`repro.netsim.node.Node`.  :class:`Router` forwards unicast
+datagrams via its table and hands multicast datagrams to whichever
+multicast routing protocol is attached.  :class:`Host` is deliberately
+dumb: it multicasts locally and unicasts via a default gateway, exactly
+the capability set the spec assumes of end systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address, IPv4Network
+from typing import Dict, List, Optional
+
+from repro.netsim.address import is_link_local_multicast
+from repro.netsim.engine import Scheduler
+from repro.netsim.nic import Interface
+from repro.netsim.node import Node
+from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IGMP
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing table entry.
+
+    ``next_hop`` is None for directly connected prefixes.  ``metric``
+    is the total path cost, used by tests asserting on path choice.
+    """
+
+    prefix: IPv4Network
+    interface: Interface
+    next_hop: Optional[IPv4Address]
+    metric: float
+
+    @property
+    def is_direct(self) -> bool:
+        return self.next_hop is None
+
+
+class RoutingTable:
+    """Longest-prefix-match table (prefixes in the simulator are disjoint)."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[IPv4Network, Route] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self):
+        return iter(self._routes.values())
+
+    def install(self, route: Route) -> None:
+        self._routes[route.prefix] = route
+
+    def remove(self, prefix: IPv4Network) -> None:
+        self._routes.pop(prefix, None)
+
+    def clear(self) -> None:
+        self._routes.clear()
+
+    def lookup(self, destination: IPv4Address) -> Optional[Route]:
+        """Best route for ``destination`` (longest prefix wins)."""
+        best: Optional[Route] = None
+        for route in self._routes.values():
+            if destination in route.prefix:
+                if best is None or route.prefix.prefixlen > best.prefix.prefixlen:
+                    best = route
+        return best
+
+    def routes(self) -> List[Route]:
+        return list(self._routes.values())
+
+
+class RoutedNode(Node):
+    """Node that can originate and locally deliver IP datagrams."""
+
+    def __init__(self, name: str, scheduler: Scheduler) -> None:
+        super().__init__(name, scheduler)
+        self.table = RoutingTable()
+        self.local_rx: List[IPDatagram] = []
+
+    # -- origination -----------------------------------------------------
+
+    def originate(self, datagram: IPDatagram) -> None:
+        """Send a locally created datagram toward its destination."""
+        if datagram.is_multicast:
+            self._originate_multicast(datagram)
+        else:
+            self._transmit_unicast(datagram)
+
+    def _originate_multicast(self, datagram: IPDatagram) -> None:
+        """Default: multicast out every interface (overridden by hosts)."""
+        for interface in self.interfaces:
+            interface.send(datagram)
+
+    def _transmit_unicast(self, datagram: IPDatagram) -> None:
+        # Directly connected destination?
+        direct = self.interface_toward(datagram.dst)
+        if direct is not None:
+            direct.send(datagram, link_dst=datagram.dst)
+            return
+        route = self.table.lookup(datagram.dst)
+        if route is None:
+            return  # no route: silently dropped, like a real router
+        link_dst = route.next_hop if route.next_hop is not None else datagram.dst
+        route.interface.send(datagram, link_dst=link_dst)
+
+    def deliver_locally(self, interface: Interface, datagram: IPDatagram) -> None:
+        """Record and dispatch a datagram addressed to this node."""
+        self.local_rx.append(datagram)
+        super().receive(interface, datagram)
+
+
+class Host(RoutedNode):
+    """End system: one interface, multicast + default-gateway unicast.
+
+    Hosts receive multicast datagrams for groups they have joined (the
+    IGMP host module maintains ``joined_groups``) and link-local
+    multicasts such as IGMP queries.
+    """
+
+    def __init__(self, name: str, scheduler: Scheduler) -> None:
+        super().__init__(name, scheduler)
+        self.default_gateway: Optional[IPv4Address] = None
+        self.joined_groups: set = set()
+        self.delivered: List[IPDatagram] = []
+
+    @property
+    def interface(self) -> Interface:
+        if not self.interfaces:
+            raise RuntimeError(f"host {self.name} has no interface")
+        return self.interfaces[0]
+
+    def _originate_multicast(self, datagram: IPDatagram) -> None:
+        self.interface.send(datagram)
+
+    def _transmit_unicast(self, datagram: IPDatagram) -> None:
+        if self.interface.on_same_network(datagram.dst):
+            self.interface.send(datagram, link_dst=datagram.dst)
+        elif self.default_gateway is not None:
+            self.interface.send(datagram, link_dst=self.default_gateway)
+
+    def receive(self, interface: Interface, datagram: IPDatagram) -> None:
+        if datagram.is_multicast:
+            if datagram.dst in self.joined_groups and datagram.proto not in (
+                PROTO_IGMP,
+                PROTO_CBT,  # hosts do not recognise the CBT payload type (§5)
+            ):
+                self.delivered.append(datagram)
+            if datagram.dst in self.joined_groups or is_link_local_multicast(datagram.dst):
+                self.deliver_locally(interface, datagram)
+            return
+        if self.owns_address(datagram.dst):
+            self.deliver_locally(interface, datagram)
+        # Hosts never forward.
+
+
+class Router(RoutedNode):
+    """Unicast forwarder; multicast handling is delegated to protocols.
+
+    A multicast routing protocol (CBT, DVMRP, ...) attaches itself by
+    registering protocol handlers and, for data-plane forwarding,
+    assigning :attr:`multicast_forwarder`.
+    """
+
+    def __init__(self, name: str, scheduler: Scheduler) -> None:
+        super().__init__(name, scheduler)
+        self.multicast_forwarder = None  # set by the multicast protocol
+        #: Optional hook called on transit unicast datagrams; returning
+        #: True consumes the packet (CBT uses this to intercept
+        #: non-member-sender encapsulations at the first on-tree router).
+        self.unicast_interceptor = None
+        self.forwarded_count = 0
+
+    def receive(self, interface: Interface, datagram: IPDatagram) -> None:
+        self.rx_count += 1
+        if datagram.is_multicast:
+            # Link-local control multicasts are consumed, not forwarded.
+            handler = self._handlers.get(datagram.proto, self._default_handler)
+            if handler is not None:
+                handler.handle(self, interface, datagram)
+            if (
+                not is_link_local_multicast(datagram.dst)
+                and self.multicast_forwarder is not None
+            ):
+                self.multicast_forwarder.forward_multicast(self, interface, datagram)
+            return
+        if self.owns_address(datagram.dst):
+            self.local_rx.append(datagram)
+            handler = self._handlers.get(datagram.proto, self._default_handler)
+            if handler is not None:
+                handler.handle(self, interface, datagram)
+            return
+        self._forward(interface, datagram)
+
+    def _forward(self, arrival: Interface, datagram: IPDatagram) -> None:
+        if self.unicast_interceptor is not None and self.unicast_interceptor(
+            self, arrival, datagram
+        ):
+            return
+        if datagram.ttl <= 1:
+            return  # TTL expired
+        self.forwarded_count += 1
+        self._transmit_unicast(datagram.decremented())
+
+    # -- CBT-facing helpers ----------------------------------------------
+
+    def best_route(self, destination: IPv4Address) -> Optional[Route]:
+        """Route toward ``destination``, treating direct subnets as routes."""
+        direct = self.interface_toward(destination)
+        if direct is not None:
+            return Route(
+                prefix=direct.network, interface=direct, next_hop=None, metric=0.0
+            )
+        return self.table.lookup(destination)
+
+    def next_hop_toward(self, destination: IPv4Address) -> Optional[IPv4Address]:
+        """Address of the next hop toward ``destination`` (spec: "best
+        next-hop on the path to the core"); None when unreachable or
+        when the destination is directly connected."""
+        route = self.best_route(destination)
+        if route is None:
+            return None
+        return route.next_hop

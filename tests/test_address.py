@@ -1,0 +1,93 @@
+"""Tests for addressing helpers."""
+
+from ipaddress import IPv4Address, IPv4Network
+
+import pytest
+
+from repro.netsim.address import (
+    ALL_CBT_ROUTERS,
+    ALL_ROUTERS,
+    ALL_SYSTEMS,
+    AddressAllocator,
+    group_address,
+    is_link_local_multicast,
+    is_multicast,
+)
+
+
+class TestWellKnownGroups:
+    def test_all_cbt_routers_is_224_0_0_7(self):
+        # Spec §2: DR solicitations target the all-CBT-routers group.
+        assert ALL_CBT_ROUTERS == IPv4Address("224.0.0.7")
+
+    def test_all_systems_and_all_routers(self):
+        assert ALL_SYSTEMS == IPv4Address("224.0.0.1")
+        assert ALL_ROUTERS == IPv4Address("224.0.0.2")
+
+    def test_well_knowns_are_link_local(self):
+        for address in (ALL_SYSTEMS, ALL_ROUTERS, ALL_CBT_ROUTERS):
+            assert is_multicast(address)
+            assert is_link_local_multicast(address)
+
+
+class TestGroupAddress:
+    def test_deterministic(self):
+        assert group_address(3) == group_address(3)
+
+    def test_distinct_per_index(self):
+        addresses = {group_address(i) for i in range(100)}
+        assert len(addresses) == 100
+
+    def test_is_routable_multicast(self):
+        g = group_address(0)
+        assert is_multicast(g)
+        assert not is_link_local_multicast(g)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            group_address(-1)
+
+
+class TestAddressAllocator:
+    def test_subnets_are_disjoint(self):
+        alloc = AddressAllocator()
+        a, b = alloc.next_subnet(), alloc.next_subnet()
+        assert a != b
+        assert not a.overlaps(b)
+
+    def test_host_addresses_inside_subnet(self):
+        alloc = AddressAllocator()
+        net = alloc.next_subnet()
+        for _ in range(5):
+            assert alloc.next_host(net) in net
+
+    def test_host_addresses_unique(self):
+        alloc = AddressAllocator()
+        net = alloc.next_subnet()
+        hosts = [alloc.next_host(net) for _ in range(10)]
+        assert len(set(hosts)) == 10
+
+    def test_unknown_subnet_rejected(self):
+        alloc = AddressAllocator()
+        with pytest.raises(ValueError):
+            alloc.next_host(IPv4Network("192.168.0.0/24"))
+
+    def test_host_exhaustion_detected(self):
+        alloc = AddressAllocator(prefix_len=30)  # 2 usable hosts
+        net = alloc.next_subnet()
+        alloc.next_host(net)
+        alloc.next_host(net)
+        with pytest.raises(ValueError):
+            alloc.next_host(net)
+
+    def test_invalid_prefix_len(self):
+        with pytest.raises(ValueError):
+            AddressAllocator(prefix_len=8)
+        with pytest.raises(ValueError):
+            AddressAllocator(prefix_len=31)
+
+    def test_deterministic_sequence(self):
+        a, b = AddressAllocator(), AddressAllocator()
+        assert [a.next_subnet() for _ in range(5)] == [
+            b.next_subnet() for _ in range(5)
+        ]

@@ -1,0 +1,130 @@
+"""Asymmetric-route tolerance (spec §2.6).
+
+"Note that the presence of underlying transient asymmetric routes is
+irrelevant to the tree-building process; CBT tree branches are
+symmetric by the nature in which they are built.  Joins set up
+transient state in all routers along a path to a particular core.
+The corresponding join-ack traverses the reverse-path of the join as
+dictated by the transient state, and not the path that underlying
+routing would dictate."
+
+These tests inject asymmetric routing (per-router cost overrides) in
+a diamond topology and verify both the control plane (acks retrace
+joins) and the data plane (packets follow tree branches, not routing).
+
+        CORE
+        /  \\
+      UP    DOWN
+        \\  /
+        LEAF -- member LAN
+"""
+
+import pytest
+
+from repro import CBTDomain, group_address
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.topology.builder import Network
+from tests.conftest import join_members
+
+
+def _is_data(datagram) -> bool:
+    """Data-plane packets only: CBT encapsulations or app-port UDP."""
+    from repro.netsim.packet import PROTO_CBT, PROTO_UDP
+
+    if datagram.proto == PROTO_CBT:
+        return True
+    if datagram.proto == PROTO_UDP:
+        return getattr(datagram.payload, "dport", None) == 5000
+    return False
+
+
+def build_diamond():
+    net = Network()
+    core = net.add_router("CORE")
+    up = net.add_router("UP")
+    down = net.add_router("DOWN")
+    leaf = net.add_router("LEAF")
+    l_cu = net.add_p2p("l_core_up", core, up)
+    l_cd = net.add_p2p("l_core_down", core, down)
+    l_ul = net.add_p2p("l_up_leaf", up, leaf)
+    l_dl = net.add_p2p("l_down_leaf", down, leaf)
+    member_lan = net.add_subnet("member_lan", [leaf])
+    core_lan = net.add_subnet("core_lan", [core])
+    net.add_host("M", member_lan)
+    net.add_host("S", core_lan)
+    # Asymmetry: LEAF routes to CORE via UP, CORE routes to LEAF via DOWN.
+    net.routing.override_cost(leaf, l_dl, 10.0)
+    net.routing.override_cost(core, l_cu, 10.0)
+    net.converge()
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    group = group_address(0)
+    domain.create_group(group, cores=["CORE"])
+    domain.start()
+    net.run(until=3.0)
+    return net, domain, group
+
+
+class TestAsymmetricRoutes:
+    def test_routing_really_is_asymmetric(self):
+        net, domain, group = build_diamond()
+        leaf, core = net.router("LEAF"), net.router("CORE")
+        leaf_next = leaf.next_hop_toward(core.primary_address)
+        core_next = core.next_hop_toward(
+            net.host("M").interface.address
+        )
+        assert leaf_next in {i.address for i in net.router("UP").interfaces}
+        assert core_next in {i.address for i in net.router("DOWN").interfaces}
+
+    def test_branch_follows_the_join_path(self):
+        """The tree roots along LEAF's forward path (via UP), and the
+        ack retraced it — DOWN stays off-tree despite being CORE's
+        preferred direction."""
+        net, domain, group = build_diamond()
+        join_members(net, domain, group, ["M"])
+        assert domain.protocol("UP").is_on_tree(group)
+        assert not domain.protocol("DOWN").is_on_tree(group)
+        domain.assert_tree_consistent(group)
+
+    def test_downstream_data_follows_the_branch(self):
+        """Data from the core side must traverse UP (the tree), not
+        DOWN (unicast routing's choice)."""
+        net, domain, group = build_diamond()
+        join_members(net, domain, group, ["M"])
+        net.trace.clear()
+        uid = send_data(net, "S", group, count=1)[0]
+        assert sum(1 for d in net.host("M").delivered if d.uid == uid) == 1
+        data_on_up = [
+            r
+            for r in net.trace.filter(kind="tx", link_name="l_up_leaf")
+            if _is_data(r.datagram)
+        ]
+        data_on_down = [
+            r
+            for r in net.trace.filter(kind="tx", link_name="l_down_leaf")
+            if _is_data(r.datagram)
+        ]
+        assert data_on_up
+        assert not data_on_down
+
+    def test_upstream_data_follows_the_branch(self):
+        net, domain, group = build_diamond()
+        join_members(net, domain, group, ["M"])
+        # A second member near the core so upstream data has a receiver.
+        domain.join_host("S", group)
+        net.run(until=net.scheduler.now + 3.0)
+        net.trace.clear()
+        uid = send_data(net, "M", group, count=1)[0]
+        assert sum(1 for d in net.host("S").delivered if d.uid == uid) == 1
+        down_tx = [
+            r
+            for r in net.trace.filter(kind="tx", link_name="l_down_leaf")
+            if _is_data(r.datagram)
+        ]
+        assert not down_tx
+
+    def test_keepalives_survive_asymmetry(self):
+        net, domain, group = build_diamond()
+        join_members(net, domain, group, ["M"])
+        net.run(until=net.scheduler.now + FAST_TIMERS.echo_timeout * 3)
+        assert not domain.protocol("LEAF").events_of("parent_lost")
+        assert domain.protocol("LEAF").is_on_tree(group)

@@ -1,0 +1,112 @@
+"""Tests for the Network builder."""
+
+import pytest
+
+from repro.topology.builder import Network
+
+
+class TestConstruction:
+    def test_duplicate_router_name_rejected(self):
+        net = Network()
+        net.add_router("r")
+        with pytest.raises(ValueError):
+            net.add_router("r")
+
+    def test_duplicate_host_name_rejected(self):
+        net = Network()
+        r = net.add_router("r")
+        s = net.add_subnet("s", [r])
+        net.add_host("h", s)
+        with pytest.raises(ValueError):
+            net.add_host("h", s)
+
+    def test_router_host_namespace_shared(self):
+        net = Network()
+        r = net.add_router("x")
+        s = net.add_subnet("s", [r])
+        with pytest.raises(ValueError):
+            net.add_host("x", s)
+
+    def test_duplicate_link_name_rejected(self):
+        net = Network()
+        net.add_subnet("s")
+        with pytest.raises(ValueError):
+            net.add_subnet("s")
+
+    def test_host_gets_lowest_router_gateway(self):
+        net = Network()
+        r1, r2 = net.add_router("r1"), net.add_router("r2")
+        s = net.add_subnet("s", [r1, r2])
+        h = net.add_host("h", s)
+        assert h.default_gateway == min(
+            i.address for i in s.interfaces if i.node.name in ("r1", "r2")
+        )
+
+    def test_host_without_router_has_no_gateway(self):
+        net = Network()
+        s = net.add_subnet("s")
+        h = net.add_host("h", s)
+        assert h.default_gateway is None
+
+
+class TestFailureHelpers:
+    def build_line(self):
+        net = Network()
+        a, b, c = (net.add_router(x) for x in "abc")
+        net.add_p2p("ab", a, b)
+        net.add_p2p("bc", b, c)
+        lan = net.add_subnet("lan", [c])
+        net.converge()
+        return net, a, b, c, lan
+
+    def test_fail_restore_link_reconverges(self):
+        net, a, b, c, lan = self.build_line()
+        target = lan.network.network_address + 1
+        assert a.best_route(target) is not None
+        net.fail_link("ab")
+        assert a.best_route(target) is None
+        net.restore_link("ab")
+        assert a.best_route(target) is not None
+
+    def test_fail_router_downs_all_interfaces(self):
+        net, a, b, c, lan = self.build_line()
+        net.fail_router("b")
+        assert all(not i.up for i in b.interfaces)
+        assert a.best_route(lan.network.network_address + 1) is None
+        net.restore_router("b")
+        assert all(i.up for i in b.interfaces)
+        assert a.best_route(lan.network.network_address + 1) is not None
+
+    def test_fail_without_reconverge_keeps_stale_routes(self):
+        net, a, b, c, lan = self.build_line()
+        net.fail_link("ab", reconverge=False)
+        # Routes are stale until someone reconverges explicitly.
+        assert a.best_route(lan.network.network_address + 1) is not None
+        net.converge()
+        assert a.best_route(lan.network.network_address + 1) is None
+
+
+class TestQueries:
+    def test_address_of_and_node_by_address(self):
+        net = Network()
+        r = net.add_router("r")
+        s = net.add_subnet("s", [r])
+        h = net.add_host("h", s)
+        assert net.node_by_address(net.address_of("r")) is r
+        assert net.node_by_address(net.address_of("h")) is h
+        with pytest.raises(KeyError):
+            net.address_of("missing")
+
+    def test_routers_on_excludes_hosts(self):
+        net = Network()
+        r = net.add_router("r")
+        s = net.add_subnet("s", [r])
+        net.add_host("h", s)
+        assert net.routers_on(s) == [r]
+
+    def test_all_subnets_excludes_p2p(self):
+        net = Network()
+        a, b = net.add_router("a"), net.add_router("b")
+        net.add_subnet("lan", [a])
+        net.add_p2p("wire", a, b)
+        assert [l.name for l in net.all_subnets()] == ["lan"]

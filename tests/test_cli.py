@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_experiments_lists_index(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("E1", "E7", "E11"):
+            assert exp_id in out
+
+    def test_walkthrough(self, capsys):
+        assert main(["walkthrough"]) == 0
+        out = capsys.readouterr().out
+        assert "R4 (primary core)" in out
+        assert "delivered to 3/3 other members" in out
+
+    def test_walkthrough_timeline(self, capsys):
+        assert main(["walkthrough", "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "joined" in out
+
+    def test_loop(self, capsys):
+        assert main(["loop"]) == 0
+        out = capsys.readouterr().out
+        assert "loop_detected" in out
+        assert "after R2-R3 failure" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--size", "12", "--members", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "routers holding state" in out
+        assert "DVMRP" in out
+
+    def test_topology_waxman(self, capsys):
+        assert main(["topology", "--kind", "waxman", "--size", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "10 routers" in out
+        assert "group" in out
+
+    def test_topology_figure1(self, capsys):
+        assert main(["topology", "--kind", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "12 routers" in out
+
+    def test_report_to_stdout(self, capsys, tmp_path):
+        artefacts = tmp_path / "results"
+        artefacts.mkdir()
+        (artefacts / "E1.txt").write_text("demo table\n")
+        assert main(["report", "--results-dir", str(artefacts)]) == 0
+        out = capsys.readouterr().out
+        assert "## E1" in out and "demo table" in out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        artefacts = tmp_path / "results"
+        artefacts.mkdir()
+        (artefacts / "E1.txt").write_text("x\n")
+        target = tmp_path / "report.md"
+        assert main(
+            ["report", "--results-dir", str(artefacts), "--output", str(target)]
+        ) == 0
+        assert target.exists()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

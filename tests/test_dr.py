@@ -1,0 +1,165 @@
+"""DR election tests (spec §2.3)."""
+
+from ipaddress import IPv4Address
+
+from repro import CBTDomain, group_address
+from repro.core.dr import DRElection, NeighbourTable
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
+from repro.topology.builder import Network
+
+
+def multi_router_lan(cbt_names, non_cbt_names=()):
+    """A LAN with both CBT and plain (non-CBT) routers attached.
+
+    Attachment order fixes the address order: earlier names get lower
+    addresses.
+    """
+    net = Network()
+    order = list(cbt_names) + list(non_cbt_names)
+    routers = {name: net.add_router(name) for name in order}
+    subnet = net.add_subnet("lan", [routers[name] for name in order])
+    net.add_host("h", subnet)
+    net.converge()
+    domain = CBTDomain(
+        net,
+        timers=FAST_TIMERS,
+        igmp_config=FAST_IGMP,
+        cbt_routers=list(cbt_names),
+    )
+    # Non-CBT routers still run IGMP (they might win querier duty).
+    from repro.igmp.router_side import IGMPRouterAgent
+
+    plain_agents = {
+        name: IGMPRouterAgent(routers[name], config=FAST_IGMP)
+        for name in non_cbt_names
+    }
+    domain.start()
+    for agent in plain_agents.values():
+        agent.start()
+    net.run(until=3.0)
+    return net, domain, routers, plain_agents
+
+
+class TestQuerierIsDDR:
+    def test_sole_router_is_ddr(self):
+        net, domain, routers, _ = multi_router_lan(["r1"])
+        p = domain.protocol("r1")
+        assert p.dr_election.is_default_dr(routers["r1"].interfaces[0])
+
+    def test_lowest_addressed_cbt_router_wins(self):
+        net, domain, routers, _ = multi_router_lan(["low", "mid", "high"])
+        assert domain.protocol("low").dr_election.is_default_dr(
+            routers["low"].interfaces[0]
+        )
+        for name in ("mid", "high"):
+            assert not domain.protocol(name).dr_election.is_default_dr(
+                routers[name].interfaces[0]
+            )
+
+    def test_all_routers_agree_on_ddr_address(self):
+        net, domain, routers, _ = multi_router_lan(["a", "b", "c"])
+        addresses = {
+            name: domain.protocol(name).dr_election.default_dr_address(
+                routers[name].interfaces[0]
+            )
+            for name in ("a", "b", "c")
+        }
+        assert len(set(addresses.values())) == 1
+
+
+class TestNonCBTQuerier:
+    def test_non_cbt_querier_yields_dr_to_lowest_cbt_router(self):
+        """Spec §2.3: if the elected querier is not CBT-capable, the
+        lowest-addressed CBT router on the link is implicitly DR."""
+        net = Network()
+        plain = net.add_router("plain")
+        cbt1 = net.add_router("cbt1")
+        cbt2 = net.add_router("cbt2")
+        subnet = net.add_subnet("lan", [plain, cbt1, cbt2])  # plain lowest
+        net.add_host("h", subnet)
+        net.converge()
+        domain = CBTDomain(
+            net,
+            timers=FAST_TIMERS,
+            igmp_config=FAST_IGMP,
+            cbt_routers=["cbt1", "cbt2"],
+        )
+        from repro.igmp.router_side import IGMPRouterAgent
+
+        plain_agent = IGMPRouterAgent(plain, config=FAST_IGMP)
+        domain.start()
+        plain_agent.start()
+        net.run(until=3.0)
+        # The plain router is the IGMP querier...
+        assert plain_agent.is_querier(plain.interfaces[0])
+        # ...but cbt1 (lowest CBT address) is the CBT D-DR.
+        assert domain.protocol("cbt1").dr_election.is_default_dr(
+            cbt1.interfaces[0]
+        )
+        assert not domain.protocol("cbt2").dr_election.is_default_dr(
+            cbt2.interfaces[0]
+        )
+
+    def test_only_one_join_from_mixed_lan(self):
+        net = Network()
+        plain = net.add_router("plain")
+        cbt1 = net.add_router("cbt1")
+        cbt2 = net.add_router("cbt2")
+        subnet = net.add_subnet("lan", [plain, cbt1, cbt2])
+        core_router = net.add_router("core")
+        net.add_p2p("up1", cbt1, core_router)
+        net.add_p2p("up2", cbt2, core_router)
+        net.add_host("h", subnet)
+        net.converge()
+        domain = CBTDomain(
+            net,
+            timers=FAST_TIMERS,
+            igmp_config=FAST_IGMP,
+            cbt_routers=["cbt1", "cbt2", "core"],
+        )
+        from repro.igmp.router_side import IGMPRouterAgent
+
+        IGMPRouterAgent(plain, config=FAST_IGMP).start()
+        group = group_address(0)
+        domain.create_group(group, cores=["core"])
+        domain.start()
+        net.run(until=3.0)
+        domain.join_host("h", group)
+        net.run(until=8.0)
+        originated = sum(
+            domain.protocol(n).stats.sent.get("JOIN_REQUEST", 0)
+            for n in ("cbt1", "cbt2")
+        )
+        assert originated == 1
+        assert domain.protocol("cbt1").is_on_tree(group)
+
+
+class TestNeighbourTable:
+    def test_heard_and_expiry(self):
+        table = NeighbourTable()
+        addr = IPv4Address("10.0.0.9")
+        table.heard(0, addr, now=100.0)
+        assert table.is_cbt_capable(0, addr)
+        table.expire(now=100.0 + 200.0, hold_time=180.0)
+        assert not table.is_cbt_capable(0, addr)
+
+    def test_refresh_prevents_expiry(self):
+        table = NeighbourTable()
+        addr = IPv4Address("10.0.0.9")
+        table.heard(0, addr, now=0.0)
+        table.heard(0, addr, now=150.0)
+        table.expire(now=200.0, hold_time=180.0)
+        assert table.is_cbt_capable(0, addr)
+
+    def test_forget(self):
+        table = NeighbourTable()
+        addr = IPv4Address("10.0.0.9")
+        table.heard(1, addr, now=0.0)
+        table.forget(1, addr)
+        assert not table.is_cbt_capable(1, addr)
+
+    def test_per_vif_isolation(self):
+        table = NeighbourTable()
+        addr = IPv4Address("10.0.0.9")
+        table.heard(0, addr, now=0.0)
+        assert not table.is_cbt_capable(1, addr)

@@ -1,0 +1,117 @@
+"""Resilience when designated routers themselves fail.
+
+The spec distributes LAN responsibilities across three roles — IGMP
+querier (= D-DR) and per-group G-DRs — and all of them must be
+re-electable: a dead querier is displaced by the other-querier
+timeout, after which membership reports flow to the new querier and
+tree state is rebuilt.
+"""
+
+import pytest
+
+from repro import CBTDomain, group_address
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.topology.builder import Network
+from tests.conftest import join_members
+
+RECOVERY = (
+    FAST_IGMP.other_querier_timeout
+    + FAST_IGMP.query_interval * 2
+    + FAST_TIMERS.echo_timeout
+    + FAST_TIMERS.echo_interval * 4
+)
+
+
+def build_dual_dr_lan():
+    """A member LAN with two candidate DRs, each with its own uplink.
+
+        CORE ---- RX ---- member LAN (host M) ---- RY ---- CORE
+    """
+    net = Network()
+    core = net.add_router("CORE")
+    rx = net.add_router("RX")
+    ry = net.add_router("RY")
+    member_lan = net.add_subnet("member_lan", [rx, ry])
+    net.add_p2p("ux", core, rx)
+    net.add_p2p("uy", core, ry)
+    core_lan = net.add_subnet("core_lan", [core])
+    net.add_host("M", member_lan)
+    net.add_host("S", core_lan)
+    net.converge()
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    group = group_address(0)
+    domain.create_group(group, cores=["CORE"])
+    domain.start()
+    net.run(until=3.0)
+    return net, domain, group
+
+
+class TestDDRFailover:
+    def test_rx_is_initial_ddr(self):
+        net, domain, group = build_dual_dr_lan()
+        rx_iface = net.router("RX").interface_on(net.link("member_lan").network)
+        assert domain.protocol("RX").dr_election.is_default_dr(rx_iface)
+
+    def test_surviving_router_takes_over_after_ddr_death(self):
+        net, domain, group = build_dual_dr_lan()
+        join_members(net, domain, group, ["M"])
+        assert domain.protocol("RX").is_on_tree(group)
+        # The D-DR (and current tree attachment) dies outright.
+        net.fail_router("RX")
+        net.run(until=net.scheduler.now + RECOVERY)
+        # RY must now be querier/D-DR on the LAN...
+        ry_iface = net.router("RY").interface_on(net.link("member_lan").network)
+        assert domain.protocol("RY").dr_election.is_default_dr(ry_iface)
+        # ...and must have re-attached the LAN to the tree (the host
+        # keeps answering queries, so membership appears at RY).
+        assert domain.protocol("RY").is_on_tree(group)
+
+    def test_data_flows_after_failover(self):
+        net, domain, group = build_dual_dr_lan()
+        join_members(net, domain, group, ["M"])
+        net.fail_router("RX")
+        net.run(until=net.scheduler.now + RECOVERY)
+        uid = send_data(net, "S", group, count=1)[0]
+        assert sum(1 for d in net.host("M").delivered if d.uid == uid) == 1
+
+    def test_ddr_restoration_does_not_break_tree(self):
+        net, domain, group = build_dual_dr_lan()
+        join_members(net, domain, group, ["M"])
+        net.fail_router("RX")
+        net.run(until=net.scheduler.now + RECOVERY)
+        net.restore_router("RX")
+        net.run(until=net.scheduler.now + FAST_IGMP.query_interval * 3)
+        domain.assert_tree_consistent(group)
+        uid = send_data(net, "S", group, count=1)[0]
+        copies = sum(1 for d in net.host("M").delivered if d.uid == uid)
+        assert copies == 1
+
+
+class TestGDRFailover:
+    """The §2.6 scenario with the G-DR (proxy-ack sender) failing."""
+
+    def build_figure1_proxy(self):
+        from repro import build_figure1
+
+        net = build_figure1()
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()
+        net.run(until=3.0)
+        join_members(net, domain, group, ["A", "B"])
+        assert domain.protocol("R2").is_on_tree(group)  # R2 is S4's G-DR
+        return net, domain, group
+
+    def test_gdr_death_reattaches_lan(self):
+        net, domain, group = self.build_figure1_proxy()
+        net.fail_router("R2")
+        net.run(until=net.scheduler.now + RECOVERY + FAST_IGMP.query_interval * 3)
+        # Someone on S4 must be on-tree again (R5 or R6 via their own
+        # join once membership re-reports reach the D-DR).
+        s4_routers = ("R5", "R6")
+        assert any(
+            domain.protocol(n).is_on_tree(group) for n in s4_routers
+        ), "no surviving S4 router re-attached"
+        uid = send_data(net, "A", group, count=1)[0]
+        assert sum(1 for d in net.host("B").delivered if d.uid == uid) == 1

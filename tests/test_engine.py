@@ -1,0 +1,181 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.netsim.engine import (
+    PeriodicTimer,
+    Scheduler,
+    SchedulerError,
+    run_phases,
+)
+
+
+class TestScheduler:
+    def test_starts_at_time_zero(self):
+        assert Scheduler().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_later(2.0, lambda: fired.append("b"))
+        sched.call_later(1.0, lambda: fired.append("a"))
+        sched.call_later(3.0, lambda: fired.append("c"))
+        sched.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_fifo_order(self):
+        sched = Scheduler()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sched.call_later(1.0, (lambda t: (lambda: fired.append(t)))(tag))
+        sched.run_until_idle()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_later(5.5, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [5.5]
+
+    def test_run_until_stops_before_later_events(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_later(1.0, lambda: fired.append(1))
+        sched.call_later(10.0, lambda: fired.append(10))
+        sched.run(until=5.0)
+        assert fired == [1]
+        assert sched.now == 5.0
+        sched.run_until_idle()
+        assert fired == [1, 10]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulerError):
+            Scheduler().call_later(-0.1, lambda: None)
+
+    def test_call_at_in_past_rejected(self):
+        sched = Scheduler()
+        sched.call_later(5.0, lambda: None)
+        sched.run_until_idle()
+        with pytest.raises(SchedulerError):
+            sched.call_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sched = Scheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sched.call_later(1.0, lambda: fired.append("second"))
+
+        sched.call_later(1.0, first)
+        sched.run_until_idle()
+        assert fired == ["first", "second"]
+
+    def test_max_events_guard_trips_on_livelock(self):
+        sched = Scheduler()
+
+        def loop():
+            sched.call_later(0.0, loop)
+
+        sched.call_later(0.0, loop)
+        with pytest.raises(SchedulerError):
+            sched.run_until_idle(max_events=100)
+
+    def test_events_processed_counter(self):
+        sched = Scheduler()
+        for _ in range(4):
+            sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        assert sched.events_processed == 4
+
+    def test_peek_next_time(self):
+        sched = Scheduler()
+        assert sched.peek_next_time() is None
+        sched.call_later(2.5, lambda: None)
+        assert sched.peek_next_time() == 2.5
+
+    def test_peek_skips_cancelled(self):
+        sched = Scheduler()
+        timer = sched.call_later(1.0, lambda: None)
+        sched.call_later(2.0, lambda: None)
+        timer.cancel()
+        assert sched.peek_next_time() == 2.0
+
+
+class TestTimer:
+    def test_cancel_prevents_firing(self):
+        sched = Scheduler()
+        fired = []
+        timer = sched.call_later(1.0, lambda: fired.append(1))
+        timer.cancel()
+        sched.run_until_idle()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = Scheduler()
+        timer = sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        timer.cancel()  # must not raise
+
+    def test_pending_reflects_state(self):
+        sched = Scheduler()
+        timer = sched.call_later(1.0, lambda: None)
+        assert timer.pending
+        timer.cancel()
+        assert not timer.pending
+
+    def test_restart_reschedules(self):
+        sched = Scheduler()
+        fired = []
+        timer = sched.call_later(1.0, lambda: fired.append(sched.now))
+        timer.restart(5.0)
+        sched.run_until_idle()
+        assert fired == [5.0]
+
+
+class TestPeriodicTimer:
+    def test_ticks_at_interval(self):
+        sched = Scheduler()
+        ticks = []
+        ticker = PeriodicTimer(sched, 2.0, lambda: ticks.append(sched.now))
+        ticker.start()
+        sched.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_immediate_start(self):
+        sched = Scheduler()
+        ticks = []
+        ticker = PeriodicTimer(sched, 2.0, lambda: ticks.append(sched.now))
+        ticker.start(immediately=True)
+        sched.run(until=3.0)
+        assert ticks == [0.0, 2.0]
+
+    def test_stop_halts_ticking(self):
+        sched = Scheduler()
+        ticks = []
+        ticker = PeriodicTimer(sched, 1.0, lambda: ticks.append(sched.now))
+        ticker.start()
+        sched.call_later(2.5, ticker.stop)
+        sched.run_until_idle()
+        assert ticks == [1.0, 2.0]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SchedulerError):
+            PeriodicTimer(Scheduler(), 0.0, lambda: None)
+
+    def test_reschedule_changes_future_interval(self):
+        sched = Scheduler()
+        ticks = []
+        ticker = PeriodicTimer(sched, 1.0, lambda: ticks.append(sched.now))
+        ticker.start()
+        sched.call_later(1.5, lambda: ticker.reschedule(3.0))
+        sched.run(until=8.0)
+        assert ticks == [1.0, 2.0, 5.0, 8.0]
+
+
+def test_run_phases_schedules_and_runs():
+    sched = Scheduler()
+    fired = []
+    run_phases(sched, [(2.0, lambda: fired.append("b")), (1.0, lambda: fired.append("a"))])
+    assert fired == ["a", "b"]

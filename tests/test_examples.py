@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Keeps the examples from rotting as the library moves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+CASES = [
+    ("quickstart.py", "tree consistency check passed"),
+    ("conference.py", "traffic concentration"),
+    ("failure_recovery.py", "loop broken, members served"),
+    ("protocol_comparison.py", "routers holding state"),
+    ("distributed_simulation.py", "post-migration reception"),
+    ("interop_gateway.py", "cross-cloud delivery"),
+    ("placement_study.py", "member centroid"),
+]
+
+
+@pytest.mark.parametrize("script,needle", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, needle):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout

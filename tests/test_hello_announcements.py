@@ -1,0 +1,179 @@
+"""Tests for HELLO tree announcements (the CBTv2-style LAN-state extension).
+
+HELLOs carry the sender's on-tree groups in the control header's five
+core slots; LAN peers use them to (a) suppress redundant joins when an
+attached router already serves the LAN, (b) yield a double-served LAN
+to its D-DR, and (c) introduce themselves immediately to new
+neighbours.
+"""
+
+import pytest
+
+from repro import CBTDomain, group_address
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.topology.builder import Network
+from tests.conftest import join_members
+
+
+def build_shared_lan():
+    """Two uplinked routers on one member LAN (RX lower-addressed)."""
+    net = Network()
+    core = net.add_router("CORE")
+    rx = net.add_router("RX")
+    ry = net.add_router("RY")
+    net.add_subnet("member_lan", [rx, ry])
+    net.add_p2p("ux", core, rx)
+    net.add_p2p("uy", core, ry)
+    core_lan = net.add_subnet("core_lan", [core])
+    net.add_host("M", net.link("member_lan"))
+    net.add_host("S", core_lan)
+    net.converge()
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    group = group_address(0)
+    domain.create_group(group, cores=["CORE"])
+    domain.start()
+    net.run(until=3.0)
+    return net, domain, group
+
+
+class TestAnnouncements:
+    def test_on_tree_groups_announced(self):
+        net, domain, group = build_shared_lan()
+        join_members(net, domain, group, ["M"])
+        # Advance past a hello interval so announcements circulate.
+        p = domain.protocol("RX")
+        net.run(until=net.scheduler.now + p.hello_interval + 1.0)
+        ry = domain.protocol("RY")
+        lan_vif = net.router("RY").interface_on(net.link("member_lan").network).vif
+        announcers = ry.neighbours.tree_announcers(
+            lan_vif, group, net.scheduler.now, ry.hello_hold
+        )
+        rx_lan_addr = net.router("RX").interface_on(
+            net.link("member_lan").network
+        ).address
+        assert rx_lan_addr in announcers
+
+    def test_many_groups_chunked_across_hellos(self):
+        net, domain, group0 = build_shared_lan()
+        groups = [group0] + [group_address(i) for i in range(1, 8)]
+        for g in groups[1:]:
+            domain.create_group(g, cores=["CORE"])
+        for g in groups:
+            join_members(net, domain, g, ["M"], settle=0.5)
+        p_rx = domain.protocol("RX")
+        assert len(p_rx.fib) == 8
+        net.run(until=net.scheduler.now + p_rx.hello_interval + 1.0)
+        ry = domain.protocol("RY")
+        lan_vif = net.router("RY").interface_on(net.link("member_lan").network).vif
+        # All 8 groups (> 5 slots) must be visible at the peer.
+        for g in groups:
+            assert ry.neighbours.tree_announcers(
+                lan_vif, g, net.scheduler.now, ry.hello_hold
+            ), g
+
+    def test_hello_hold_scales_with_timer_profile(self):
+        net, domain, group = build_shared_lan()
+        p = domain.protocol("RX")
+        from repro.core.dr import HELLO_HOLD_TIME, HELLO_INTERVAL
+
+        assert p.hello_interval == pytest.approx(HELLO_INTERVAL * 0.1)
+        assert p.hello_hold == pytest.approx(HELLO_HOLD_TIME * 0.1)
+
+
+class TestJoinSuppression:
+    def test_ddr_does_not_rejoin_served_lan(self):
+        """RX (D-DR) serves the LAN; a fresh membership transition on
+        RY's side must not create a second join."""
+        net, domain, group = build_shared_lan()
+        join_members(net, domain, group, ["M"])
+        assert domain.protocol("RX").is_on_tree(group)
+        assert not domain.protocol("RY").is_on_tree(group)
+        # Membership expires and re-appears (leave + rejoin): the
+        # D-DR RX already serves the LAN, so join counts stay put.
+        rx_joins_before = domain.protocol("RX").stats.sent.get("JOIN_REQUEST", 0)
+        ry_joins_before = domain.protocol("RY").stats.sent.get("JOIN_REQUEST", 0)
+        domain.leave_host("M", group)
+        net.run(until=net.scheduler.now + 5.0)
+        domain.join_host("M", group)
+        net.run(until=net.scheduler.now + 5.0)
+        assert domain.protocol("RY").stats.sent.get("JOIN_REQUEST", 0) == ry_joins_before
+
+    def test_suppression_lifts_when_announcer_dies(self):
+        net, domain, group = build_shared_lan()
+        join_members(net, domain, group, ["M"])
+        net.fail_router("RX")
+        p_ry = domain.protocol("RY")
+        horizon = (
+            p_ry.hello_hold
+            + p_ry.hello_interval * 2
+            + FAST_TIMERS.iff_scan_interval * 2
+            + FAST_IGMP.other_querier_timeout
+            + FAST_IGMP.query_interval
+        )
+        net.run(until=net.scheduler.now + horizon)
+        assert p_ry.is_on_tree(group)
+
+
+class TestYield:
+    def test_leaf_yields_lan_to_on_tree_ddr(self):
+        """Force the double-service situation directly, then verify the
+        non-D-DR leaf quits once it hears the D-DR's announcement."""
+        net, domain, group = build_shared_lan()
+        join_members(net, domain, group, ["M"])  # RX (D-DR) serves
+        # Force RY on-tree too (as if it had joined during a querier
+        # outage): a real join via its own uplink.
+        p_ry = domain.protocol("RY")
+        member_iface = net.router("RY").interface_on(
+            net.link("member_lan").network
+        )
+        from repro.core.constants import JoinSubcode
+
+        p_ry._originate_join(
+            group,
+            cores=p_ry.cores_for(group),
+            target_core=p_ry.cores_for(group)[0],
+            subcode=JoinSubcode.ACTIVE_JOIN,
+            origin=member_iface.address,
+        )
+        # Within a hello interval RY hears RX's announcement and yields.
+        net.run(until=net.scheduler.now + p_ry.hello_interval * 2 + 2.0)
+        assert not p_ry.is_on_tree(group)
+        assert p_ry.events_of("yield_lan")
+        # Delivery is exactly-once again afterwards.
+        uid = send_data(net, "S", group, count=1)[0]
+        assert sum(1 for d in net.host("M").delivered if d.uid == uid) == 1
+
+    def test_ddr_itself_never_yields(self):
+        net, domain, group = build_shared_lan()
+        join_members(net, domain, group, ["M"])
+        p_rx = domain.protocol("RX")
+        net.run(until=net.scheduler.now + p_rx.hello_interval * 3)
+        assert p_rx.is_on_tree(group)
+        assert not p_rx.events_of("yield_lan")
+
+    def test_router_serving_other_lans_does_not_yield(self):
+        """A router whose tree state also serves a private member LAN
+        must not yield it because of a shared-LAN announcement."""
+        net = Network()
+        core = net.add_router("CORE")
+        rx = net.add_router("RX")
+        ry = net.add_router("RY")
+        net.add_subnet("shared", [rx, ry])
+        private = net.add_subnet("private", [ry])
+        net.add_p2p("ux", core, rx)
+        net.add_p2p("uy", core, ry)
+        net.add_host("MS", net.link("shared"))
+        net.add_host("MP", private)
+        net.converge()
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["CORE"])
+        domain.start()
+        net.run(until=3.0)
+        # MP joins behind RY (its private LAN), MS behind RX (D-DR of shared).
+        join_members(net, domain, group, ["MP", "MS"])
+        p_ry = domain.protocol("RY")
+        assert p_ry.is_on_tree(group)
+        net.run(until=net.scheduler.now + p_ry.hello_interval * 3)
+        assert p_ry.is_on_tree(group)  # still serving its private LAN
+        assert not p_ry.events_of("yield_lan")

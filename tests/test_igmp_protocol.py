@@ -1,0 +1,158 @@
+"""Tests for host- and router-side IGMP behaviour."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.igmp.host import IGMPHostAgent
+from repro.igmp.messages import CoreReport, MembershipReport
+from repro.igmp.router_side import IGMPConfig, IGMPRouterAgent
+from repro.netsim.address import group_address
+from repro.topology.builder import Network
+
+GROUP = group_address(0)
+CORES = (IPv4Address("10.0.0.1"),)
+
+FAST = IGMPConfig(
+    query_interval=10.0,
+    query_response_interval=2.0,
+    startup_query_interval=0.2,
+    last_member_query_interval=0.5,
+)
+
+
+def lan_with_routers(router_count=1, host_count=1):
+    net = Network()
+    routers = [net.add_router(f"r{i}") for i in range(router_count)]
+    subnet = net.add_subnet("lan", routers)
+    agents = [IGMPRouterAgent(r, config=FAST) for r in routers]
+    hosts = [net.add_host(f"h{i}", subnet) for i in range(host_count)]
+    host_agents = [IGMPHostAgent(h) for h in hosts]
+    net.converge()
+    for agent in agents:
+        agent.start()
+    return net, routers, agents, hosts, host_agents
+
+
+class TestJoinLeave:
+    def test_join_creates_membership(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        net.run(until=2.0)
+        assert agents[0].database.has_members(routers[0].interfaces[0], GROUP)
+
+    def test_join_with_cores_sends_core_report_first(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        seen = []
+        agents[0].on_core_report(lambda iface, report: seen.append(report))
+        changes = []
+        agents[0].on_membership_change(
+            lambda iface, group, present: changes.append((group, present))
+        )
+        net.run(until=1.0)
+        host_agents[0].join(GROUP, cores=CORES)
+        net.run(until=2.0)
+        assert seen and seen[0].cores == CORES
+        assert (GROUP, True) in changes
+
+    def test_leave_triggers_group_query_and_expiry(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        net.run(until=2.0)
+        host_agents[0].leave(GROUP)
+        net.run(until=10.0)
+        assert not agents[0].database.has_members(routers[0].interfaces[0], GROUP)
+
+    def test_remaining_member_answers_group_query(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers(host_count=2)
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        host_agents[1].join(GROUP)
+        net.run(until=2.0)
+        host_agents[0].leave(GROUP)
+        net.run(until=12.0)
+        # host 1 is still a member; membership must survive.
+        assert agents[0].database.has_members(routers[0].interfaces[0], GROUP)
+
+    def test_leave_when_not_member_is_noop(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        host_agents[0].leave(GROUP)  # must not raise
+        assert not host_agents[0].is_member(GROUP)
+
+    def test_membership_expires_without_reports(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        net.run(until=2.0)
+        # Silence the host: it stops answering queries entirely.
+        hosts[0].interfaces[0].up = False
+        timeout = FAST.membership_timeout
+        net.run(until=2.0 + timeout + 2.0)
+        assert not agents[0].database.has_members(routers[0].interfaces[0], GROUP)
+
+    def test_periodic_queries_refresh_membership(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        # Run well past the membership timeout: reports in response to
+        # periodic queries must keep the membership alive.
+        net.run(until=FAST.membership_timeout * 2)
+        assert agents[0].database.has_members(routers[0].interfaces[0], GROUP)
+
+
+class TestQuerierElection:
+    def test_lowest_address_becomes_querier(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers(router_count=3)
+        net.run(until=2.0)
+        ifaces = [r.interfaces[0] for r in routers]
+        lowest = min(range(3), key=lambda i: ifaces[i].address)
+        for i in range(3):
+            assert agents[i].is_querier(ifaces[i]) == (i == lowest)
+
+    def test_querier_address_reported_consistently(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers(router_count=2)
+        net.run(until=2.0)
+        ifaces = [r.interfaces[0] for r in routers]
+        lowest_address = min(i.address for i in ifaces)
+        for agent, iface in zip(agents, ifaces):
+            assert agent.querier_address(iface) == lowest_address
+
+    def test_querier_resumes_after_silence(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers(router_count=2)
+        net.run(until=2.0)
+        ifaces = [r.interfaces[0] for r in routers]
+        order = sorted(range(2), key=lambda i: ifaces[i].address)
+        low, high = order[0], order[1]
+        assert not agents[high].is_querier(ifaces[high])
+        # The elected querier goes silent; the other must take over.
+        for iface in routers[low].interfaces:
+            iface.up = False
+        net.run(until=2.0 + FAST.other_querier_timeout + FAST.query_interval + 2.0)
+        assert agents[high].is_querier(ifaces[high])
+
+
+class TestDatabaseQueries:
+    def test_interfaces_with_and_groups_on(self):
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        net.run(until=2.0)
+        iface = routers[0].interfaces[0]
+        assert agents[0].database.interfaces_with(GROUP) == [iface.vif]
+        assert GROUP in agents[0].groups_on(iface)
+        assert agents[0].any_member_subnet(GROUP)
+
+    def test_second_group_tracked_independently(self):
+        other = group_address(1)
+        net, routers, agents, hosts, host_agents = lan_with_routers()
+        net.run(until=1.0)
+        host_agents[0].join(GROUP)
+        host_agents[0].join(other)
+        net.run(until=2.0)
+        iface = routers[0].interfaces[0]
+        assert agents[0].groups_on(iface) == {GROUP, other}
+        host_agents[0].leave(other)
+        net.run(until=12.0)
+        assert agents[0].groups_on(iface) == {GROUP}

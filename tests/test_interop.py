@@ -1,0 +1,150 @@
+"""§10 interoperability tests: the CBT <-> DVMRP bridge.
+
+Topology (two clouds, unicast-disconnected, glued by the bridge):
+
+    MA -- C3 -- C2 -- C1(core)      D1 -- D2 -- MB
+                 |                   |
+               LAN_A ---[bridge]--- LAN_B
+"""
+
+import pytest
+
+from repro import CBTDomain, group_address
+from repro.app import MulticastReceiver, MulticastSender
+from repro.baselines.dvmrp import DVMRPDomain
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
+from repro.interop.bridge import MulticastBridge
+from repro.topology.builder import Network
+
+CBT_ROUTERS = ["C1", "C2", "C3"]
+DVMRP_ROUTERS = ["D1", "D2"]
+
+
+@pytest.fixture
+def mixed_clouds():
+    net = Network()
+    c1, c2, c3 = (net.add_router(n) for n in CBT_ROUTERS)
+    d1, d2 = (net.add_router(n) for n in DVMRP_ROUTERS)
+    net.add_p2p("c12", c1, c2)
+    net.add_p2p("c23", c2, c3)
+    net.add_p2p("d12", d1, d2)
+    lan_ma = net.add_subnet("lan_ma", [c3])
+    lan_mb = net.add_subnet("lan_mb", [d2])
+    lan_a = net.add_subnet("lan_a", [c2])
+    lan_b = net.add_subnet("lan_b", [d1])
+    ma = net.add_host("MA", lan_ma)
+    mb = net.add_host("MB", lan_mb)
+    net.converge()
+
+    bridge = MulticastBridge("bridge", net.scheduler)
+    net.attach(bridge, lan_a)  # side A = CBT
+    net.attach(bridge, lan_b)  # side B = DVMRP
+
+    cbt = CBTDomain(
+        net,
+        timers=FAST_TIMERS,
+        igmp_config=FAST_IGMP,
+        cbt_routers=CBT_ROUTERS,
+        hosts=["MA"],
+    )
+    dvmrp = DVMRPDomain(
+        net,
+        prune_lifetime=300.0,
+        igmp_config=FAST_IGMP,
+        routers=DVMRP_ROUTERS,
+        hosts=["MB"],
+    )
+    group = group_address(0)
+    cores = cbt.create_group(group, cores=["C1"])
+    cbt.start()
+    dvmrp.start()
+    net.run(until=3.0)
+
+    bridge.bridge_group(group, cores=cores)
+    cbt.join_host("MA", group)
+    dvmrp.join_host("MB", group)
+    receiver_ma = MulticastReceiver(ma, cbt.host_agents["MA"], group)
+    receiver_mb = MulticastReceiver(mb, dvmrp.host_agents["MB"], group)
+    net.run(until=8.0)
+    return net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb
+
+
+class TestBridgeSetup:
+    def test_cbt_tree_extends_to_bridge_lan(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, *_ = mixed_clouds
+        # C2 (the bridge LAN's DR) must have joined toward C1.
+        assert cbt.protocol("C2").is_on_tree(group)
+        cbt.assert_tree_consistent(group)
+
+    def test_dvmrp_membership_on_bridge_lan(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, *_ = mixed_clouds
+        d1 = net.router("D1")
+        lan_b_iface = d1.interface_on(net.link("lan_b").network)
+        assert dvmrp.protocol("D1").igmp.database.has_members(lan_b_iface, group)
+
+
+class TestCrossCloudDelivery:
+    def test_dvmrp_sender_reaches_cbt_member(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb = mixed_clouds
+        sender = MulticastSender(net.host("MB"), group, stream_id="mb")
+        sender.send(3)
+        net.run(until=net.scheduler.now + 3.0)
+        stats = receiver_ma.stats_for("mb")
+        assert stats.received == 3
+        assert stats.duplicates == 0
+        assert bridge.relayed_b_to_a == 3
+
+    def test_cbt_sender_reaches_dvmrp_member(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb = mixed_clouds
+        sender = MulticastSender(net.host("MA"), group, stream_id="ma")
+        sender.send(3)
+        net.run(until=net.scheduler.now + 3.0)
+        stats = receiver_mb.stats_for("ma")
+        assert stats.received == 3
+        assert stats.duplicates == 0
+        assert bridge.relayed_a_to_b == 3
+
+    def test_bidirectional_simultaneously(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb = mixed_clouds
+        sender_a = MulticastSender(net.host("MA"), group, stream_id="ma")
+        sender_b = MulticastSender(net.host("MB"), group, stream_id="mb")
+        sender_a.send(2)
+        sender_b.send(2)
+        net.run(until=net.scheduler.now + 3.0)
+        assert receiver_mb.stats_for("ma").received == 2
+        assert receiver_ma.stats_for("mb").received == 2
+
+    def test_no_relay_loops(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb = mixed_clouds
+        sender = MulticastSender(net.host("MA"), group, stream_id="ma")
+        sender.send(5)
+        net.run(until=net.scheduler.now + 5.0)
+        # Each packet crosses the bridge exactly once.
+        assert bridge.relayed_a_to_b == 5
+        assert bridge.relayed_b_to_a == 0
+        assert receiver_mb.stats_for("ma").duplicates == 0
+
+    def test_unbridged_group_not_relayed(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb = mixed_clouds
+        other = group_address(5)
+        cbt.create_group(other, cores=["C1"])
+        cbt.join_host("MA", other)
+        net.run(until=net.scheduler.now + 3.0)
+        before = bridge.relayed_a_to_b
+        sender = MulticastSender(net.host("MA"), other, stream_id="x")
+        sender.send(2)
+        net.run(until=net.scheduler.now + 3.0)
+        assert bridge.relayed_a_to_b == before
+
+
+class TestMembershipMaintenance:
+    def test_bridge_answers_queries_keeping_membership_alive(self, mixed_clouds):
+        net, cbt, dvmrp, bridge, group, receiver_ma, receiver_mb = mixed_clouds
+        # Run well past the IGMP membership timeout: the bridge must
+        # keep answering queries on both LANs.
+        net.run(until=net.scheduler.now + FAST_IGMP.membership_timeout * 2)
+        assert cbt.protocol("C2").is_on_tree(group)
+        sender = MulticastSender(net.host("MB"), group, stream_id="late")
+        sender.send(1)
+        net.run(until=net.scheduler.now + 3.0)
+        assert receiver_ma.stats_for("late").received == 1

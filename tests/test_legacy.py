@@ -1,0 +1,134 @@
+"""Tests for the draft-02 legacy join procedure."""
+
+import pytest
+
+from repro import CBTDomain, build_figure1, group_address
+from repro.core.legacy import (
+    ADVERTISEMENT_DELAY,
+    LegacyDRExtension,
+    LegacyHostAgent,
+)
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+
+
+@pytest.fixture
+def legacy_figure1(figure1_network):
+    domain = CBTDomain(
+        figure1_network, timers=FAST_TIMERS, igmp_config=FAST_IGMP
+    )
+    extensions = {
+        name: LegacyDRExtension(protocol)
+        for name, protocol in domain.protocols.items()
+    }
+    agents = {
+        name: LegacyHostAgent(
+            figure1_network.host(name), igmp_agent=domain.agent(name)
+        )
+        for name in ("A", "B", "H")
+    }
+    domain.start()
+    figure1_network.run(until=3.0)
+    return figure1_network, domain, extensions, agents
+
+
+GROUP = group_address(0)
+
+
+class TestInitiator:
+    def test_core_notifications_build_core_tree_eagerly(self, legacy_figure1):
+        net, domain, extensions, agents = legacy_figure1
+        cores = (
+            net.router("R4").primary_address,
+            net.router("R9").primary_address,
+        )
+        agents["A"].join(GROUP, cores, initiator=True)
+        net.run(until=net.scheduler.now + 5.0)
+        # The -02 draft: the secondary core joins the primary up front.
+        p9 = domain.protocol("R9")
+        assert p9.is_on_tree(GROUP)
+        assert p9.tree_parent(GROUP) is not None
+        # ...and the initiating host completed its own join.
+        assert agents["A"].is_complete(GROUP)
+
+    def test_initiator_join_completes_with_latency(self, legacy_figure1):
+        net, domain, extensions, agents = legacy_figure1
+        cores = (net.router("R4").primary_address,)
+        agents["A"].join(GROUP, cores, initiator=True)
+        net.run(until=net.scheduler.now + 5.0)
+        latency = agents["A"].join_latency(GROUP)
+        assert latency is not None
+        # The handshake includes the deliberate advertisement delay.
+        assert latency >= ADVERTISEMENT_DELAY
+
+
+class TestElection:
+    def test_single_router_lan_elects_itself(self, legacy_figure1):
+        net, domain, extensions, agents = legacy_figure1
+        cores = (net.router("R4").primary_address,)
+        agents["A"].join(GROUP, cores)
+        net.run(until=net.scheduler.now + 5.0)
+        assert agents["A"].is_complete(GROUP)
+        assert domain.protocol("R1").is_on_tree(GROUP)
+
+    def test_multi_router_lan_lowest_candidate_wins(self, legacy_figure1):
+        """S4 (-02 walk-through): R2 and R5 are candidates toward R4;
+        the lower-addressed wins the DR_ADV_NOTIFICATION tie-break."""
+        net, domain, extensions, agents = legacy_figure1
+        cores = (net.router("R4").primary_address,)
+        agents["B"].join(GROUP, cores)
+        net.run(until=net.scheduler.now + 8.0)
+        assert agents["B"].is_complete(GROUP)
+        # Exactly one S4 router ended up on-tree for the LAN.
+        on_tree_s4 = [
+            name
+            for name in ("R2", "R5", "R6")
+            if domain.protocol(name).is_on_tree(GROUP)
+        ]
+        assert len(on_tree_s4) == 1
+
+    def test_second_host_reuses_established_dr(self, legacy_figure1):
+        net, domain, extensions, agents = legacy_figure1
+        cores = (net.router("R4").primary_address,)
+        agents["A"].join(GROUP, cores)
+        net.run(until=net.scheduler.now + 5.0)
+        agents["H"].join(GROUP, cores)
+        net.run(until=net.scheduler.now + 8.0)
+        assert agents["H"].is_complete(GROUP)
+        domain.assert_tree_consistent(GROUP)
+
+
+class TestLatencyComparison:
+    def test_legacy_join_slower_than_modern(self, figure1_network):
+        """The -03 authors' claim: the new election keeps join latency
+        to a minimum.  Same topology, same member, both procedures."""
+        # Legacy run.
+        domain = CBTDomain(
+            figure1_network, timers=FAST_TIMERS, igmp_config=FAST_IGMP
+        )
+        for protocol in domain.protocols.values():
+            LegacyDRExtension(protocol)
+        legacy_agent = LegacyHostAgent(
+            figure1_network.host("A"), igmp_agent=domain.agent("A")
+        )
+        domain.start()
+        figure1_network.run(until=3.0)
+        cores = (figure1_network.router("R4").primary_address,)
+        legacy_agent.join(GROUP, cores)
+        figure1_network.run(until=figure1_network.scheduler.now + 5.0)
+        legacy_latency = legacy_agent.join_latency(GROUP)
+        assert legacy_latency is not None
+
+        # Modern run on a fresh network.
+        from repro import build_figure1
+
+        net2 = build_figure1()
+        domain2 = CBTDomain(net2, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        domain2.create_group(GROUP, cores=["R4"])
+        domain2.start()
+        net2.run(until=3.0)
+        start = net2.scheduler.now
+        domain2.join_host("A", GROUP)
+        net2.run(until=start + 5.0)
+        joined = domain2.protocol("R1").events_of("joined")
+        modern_latency = joined[0].time - start
+        assert modern_latency < legacy_latency

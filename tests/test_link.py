@@ -1,0 +1,187 @@
+"""Tests for subnets, point-to-point links, and delivery semantics."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.netsim.engine import Scheduler
+from repro.netsim.link import PointToPointLink, Subnet
+from repro.netsim.node import Node
+from repro.netsim.packet import IPDatagram, PROTO_UDP
+from repro.netsim.trace import PacketTrace
+from repro.topology.builder import Network
+
+GROUP = IPv4Address("239.0.0.1")
+
+
+def build_lan(node_count=3):
+    """A LAN with ``node_count`` plain nodes recording receptions."""
+    net = Network()
+    sched = net.scheduler
+    subnet = net.add_subnet("LAN")
+    nodes = []
+    for i in range(node_count):
+        node = Node(f"n{i}", sched)
+        received = []
+        node.register_default_handler(
+            lambda n, iface, d, bucket=received: bucket.append(d)
+        )
+        node.received = received
+        net.attach(node, subnet)
+        nodes.append(node)
+    return net, subnet, nodes
+
+
+class TestSubnetDelivery:
+    def test_multicast_reaches_all_but_sender(self):
+        net, subnet, nodes = build_lan(3)
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address, dst=GROUP, proto=PROTO_UDP, payload=b""
+        )
+        nodes[0].interfaces[0].send(d)
+        net.run()
+        assert len(nodes[0].received) == 0
+        assert len(nodes[1].received) == 1
+        assert len(nodes[2].received) == 1
+
+    def test_unicast_reaches_only_target(self):
+        net, subnet, nodes = build_lan(3)
+        target = nodes[2].interfaces[0].address
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address, dst=target, proto=PROTO_UDP, payload=b""
+        )
+        nodes[0].interfaces[0].send(d, link_dst=target)
+        net.run()
+        assert len(nodes[1].received) == 0
+        assert len(nodes[2].received) == 1
+
+    def test_unicast_to_absent_address_dropped(self):
+        net, subnet, nodes = build_lan(2)
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address,
+            dst=IPv4Address("10.9.9.9"),
+            proto=PROTO_UDP,
+            payload=b"",
+        )
+        nodes[0].interfaces[0].send(d, link_dst=IPv4Address("10.9.9.9"))
+        net.run()
+        assert not nodes[1].received
+        assert any(r.note.startswith("no host") for r in net.trace.drops())
+
+    def test_delivery_is_delayed(self):
+        net, subnet, nodes = build_lan(2)
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address, dst=GROUP, proto=PROTO_UDP, payload=b""
+        )
+        nodes[0].interfaces[0].send(d)
+        assert not nodes[1].received  # nothing until the loop runs
+        net.run()
+        assert nodes[1].received
+
+    def test_down_link_drops(self):
+        net, subnet, nodes = build_lan(2)
+        subnet.set_up(False)
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address, dst=GROUP, proto=PROTO_UDP, payload=b""
+        )
+        nodes[0].interfaces[0].send(d)
+        net.run()
+        assert not nodes[1].received
+
+    def test_down_interface_does_not_receive(self):
+        net, subnet, nodes = build_lan(3)
+        nodes[2].interfaces[0].up = False
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address, dst=GROUP, proto=PROTO_UDP, payload=b""
+        )
+        nodes[0].interfaces[0].send(d)
+        net.run()
+        assert len(nodes[1].received) == 1
+        assert len(nodes[2].received) == 0
+
+    def test_loss_model_drops(self):
+        sched = Scheduler()
+        from repro.netsim.address import AddressAllocator
+
+        alloc = AddressAllocator()
+        prefix = alloc.next_subnet()
+        subnet = Subnet(
+            name="lossy",
+            network=prefix,
+            scheduler=sched,
+            trace=PacketTrace(),
+            loss=lambda d: True,
+        )
+        node_a, node_b = Node("a", sched), Node("b", sched)
+        received = []
+        node_b.register_default_handler(lambda n, i, d: received.append(d))
+        node_a.add_interface(alloc.next_host(prefix), prefix, subnet)
+        node_b.add_interface(alloc.next_host(prefix), prefix, subnet)
+        node_a.interfaces[0].send(
+            IPDatagram(
+                src=node_a.interfaces[0].address,
+                dst=GROUP,
+                proto=PROTO_UDP,
+                payload=b"",
+            )
+        )
+        sched.run_until_idle()
+        assert not received
+
+    def test_tx_counters(self):
+        net, subnet, nodes = build_lan(2)
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address, dst=GROUP, proto=PROTO_UDP, payload=b""
+        )
+        nodes[0].interfaces[0].send(d)
+        net.run()
+        assert subnet.tx_count == 1
+        assert subnet.tx_bytes > 0
+
+    def test_duplicate_address_rejected(self):
+        net, subnet, nodes = build_lan(1)
+        clone = Node("clone", net.scheduler)
+        with pytest.raises(ValueError):
+            clone.add_interface(
+                nodes[0].interfaces[0].address, subnet.network, subnet
+            )
+
+
+class TestPointToPoint:
+    def test_third_attachment_rejected(self):
+        net = Network()
+        r1, r2, r3 = (net.add_router(n) for n in ("r1", "r2", "r3"))
+        link = net.add_p2p("p2p", r1, r2)
+        with pytest.raises(ValueError):
+            net.attach(r3, link)
+
+    def test_peer_of(self):
+        net = Network()
+        r1, r2 = net.add_router("r1"), net.add_router("r2")
+        link = net.add_p2p("p2p", r1, r2)
+        a, b = link.interfaces
+        assert link.peer_of(a) is b
+        assert link.peer_of(b) is a
+
+    def test_default_delay_larger_than_lan(self):
+        net = Network()
+        r1, r2 = net.add_router("r1"), net.add_router("r2")
+        lan = net.add_subnet("lan", [r1])
+        p2p = net.add_p2p("wan", r1, r2)
+        assert p2p.delay > lan.delay
+
+
+class TestLinkValidation:
+    def test_negative_delay_rejected(self):
+        from repro.netsim.address import AddressAllocator
+
+        alloc = AddressAllocator()
+        with pytest.raises(ValueError):
+            Subnet("x", alloc.next_subnet(), Scheduler(), delay=-1.0)
+
+    def test_nonpositive_cost_rejected(self):
+        from repro.netsim.address import AddressAllocator
+
+        alloc = AddressAllocator()
+        with pytest.raises(ValueError):
+            Subnet("x", alloc.next_subnet(), Scheduler(), cost=0.0)

@@ -1,0 +1,59 @@
+"""Tests for the management (MIB) views."""
+
+import json
+
+from repro.core.mib import domain_mib, router_mib
+from repro.harness.scenarios import send_data
+from tests.conftest import join_members
+
+
+class TestRouterMIB:
+    def test_snapshot_fields(self, figure1_full_tree, figure1_network):
+        domain, group = figure1_full_tree
+        mib = router_mib(domain.protocol("R3"))
+        assert mib["name"] == "R3"
+        assert mib["groups_on_tree"] == 1
+        assert mib["fib"][0]["group"] == str(group)
+        assert mib["fib"][0]["parent"] is not None
+        assert len(mib["fib"][0]["children"]) == 2  # R1 and R2
+        assert mib["control_sent"].get("JOIN_REQUEST", 0) >= 1
+
+    def test_data_plane_counters_reflect_traffic(
+        self, figure1_full_tree, figure1_network
+    ):
+        domain, group = figure1_full_tree
+        before = router_mib(domain.protocol("R4"))["data_plane"]["member_deliveries"]
+        send_data(figure1_network, "G", group, count=2)
+        after = router_mib(domain.protocol("R4"))["data_plane"]["member_deliveries"]
+        assert after > before
+
+    def test_json_serialisable(self, figure1_full_tree):
+        domain, group = figure1_full_tree
+        text = json.dumps(router_mib(domain.protocol("R1")))
+        assert '"R1"' in text
+
+    def test_off_tree_router_is_clean(self, figure1_full_tree):
+        domain, group = figure1_full_tree
+        mib = router_mib(domain.protocol("R11"))
+        assert mib["groups_on_tree"] == 0
+        assert mib["fib"] == []
+        assert mib["pending_joins"] == []
+
+
+class TestDomainMIB:
+    def test_totals(self, figure1_full_tree):
+        domain, group = figure1_full_tree
+        mib = domain_mib(domain)
+        assert mib["totals"]["routers"] == 12
+        assert mib["totals"]["groups_known"] == 1
+        assert mib["totals"]["fib_entries"] == len(domain.on_tree_routers(group))
+        assert mib["totals"]["fib_state"] == domain.total_fib_state()
+
+    def test_json_serialisable(self, figure1_full_tree):
+        domain, group = figure1_full_tree
+        json.dumps(domain_mib(domain))
+
+    def test_empty_domain(self, figure1_domain):
+        domain, group = figure1_domain
+        mib = domain_mib(domain)
+        assert mib["totals"]["fib_entries"] == 0

@@ -1,0 +1,113 @@
+"""Tests for the overhead metrics and the packet log renderer."""
+
+import pytest
+
+from repro.analysis import packet_log
+from repro.harness.scenarios import send_data
+from repro.metrics.overhead import (
+    OverheadReport,
+    cbt_control_overhead,
+    deliveries_per_packet,
+    trace_overhead,
+)
+from repro.netsim.packet import PROTO_UDP
+from tests.conftest import join_members
+
+
+class TestTraceOverhead:
+    def test_splits_control_and_data(self, figure1_full_tree, figure1_network):
+        domain, group = figure1_full_tree
+        figure1_network.trace.clear()
+        send_data(figure1_network, "G", group, count=2)
+        report = trace_overhead(figure1_network.trace)
+        assert report.data_transmissions > 0
+        assert report.data_bytes > 0
+        # Keepalives run in the background: control traffic present.
+        assert report.control_messages >= 0
+        assert report.total_bytes == report.control_bytes + report.data_bytes
+
+    def test_join_phase_is_control_heavy(self, figure1_domain, figure1_network):
+        domain, group = figure1_domain
+        figure1_network.trace.clear()
+        join_members(figure1_network, domain, group, ["A", "B", "H"])
+        report = trace_overhead(figure1_network.trace)
+        assert report.control_messages > 0
+        assert report.data_transmissions == 0
+
+    def test_cbt_control_overhead_by_type(self, figure1_full_tree):
+        domain, group = figure1_full_tree
+        totals = cbt_control_overhead(domain)
+        assert totals.get("JOIN_REQUEST", 0) >= 8
+        assert totals.get("JOIN_ACK", 0) >= 8
+        assert "HELLO" not in totals
+        with_hello = cbt_control_overhead(domain, exclude_hello=False)
+        assert with_hello.get("HELLO", 0) > 0
+
+    def test_deliveries_per_packet(self, figure1_full_tree, figure1_network):
+        domain, group = figure1_full_tree
+        uid = send_data(figure1_network, "G", group, count=1)[0]
+        hosts = [figure1_network.host(n) for n in ("A", "B", "H")]
+        assert deliveries_per_packet(figure1_network.trace, uid, hosts) == 3
+
+
+class TestPacketLog:
+    def test_lists_transmissions(self, figure1_full_tree, figure1_network):
+        domain, group = figure1_full_tree
+        figure1_network.trace.clear()
+        send_data(figure1_network, "G", group, count=1)
+        log = packet_log(figure1_network.trace)
+        assert "tx" in log
+        assert "ttl=" in log and "len=" in log
+
+    def test_proto_filter(self, figure1_full_tree, figure1_network):
+        domain, group = figure1_full_tree
+        figure1_network.trace.clear()
+        send_data(figure1_network, "G", group, count=1)
+        udp_only = packet_log(figure1_network.trace, protos=(PROTO_UDP,))
+        assert " cbt " not in udp_only
+
+    def test_limit_and_overflow_note(self, figure1_full_tree, figure1_network):
+        domain, group = figure1_full_tree
+        send_data(figure1_network, "G", group, count=3)
+        log = packet_log(figure1_network.trace, limit=3)
+        assert "more records" in log
+        assert len([l for l in log.splitlines() if l.endswith(")") or "ttl=" in l]) >= 3
+
+    def test_empty(self):
+        from repro.netsim.trace import PacketTrace
+
+        assert "(no matching records)" in packet_log(PacketTrace())
+
+
+class TestDVMRPEdges:
+    def test_prune_before_data_synthesises_entry(self):
+        """A prune arriving before any data for (S,G) must not crash
+        and must create consistent state from the RPF interface."""
+        from repro.baselines.dvmrp import Prune
+        from repro.harness.scenarios import build_dvmrp_group
+        from repro.topology.generators import waxman_network
+
+        net = waxman_network(8, seed=30)
+        domain, group = build_dvmrp_group(net, ["H_N2"], prune_lifetime=60.0)
+        p = domain.protocol("N1")
+        source = net.host("H_N5").interface.address
+        neighbour_iface = net.router("N1").interfaces[0]
+        p._recv_prune(
+            neighbour_iface,
+            net.router("N2").primary_address,
+            Prune(source=source, group=group, lifetime=60.0),
+        )
+        assert (source, group) in p.entries
+
+    def test_probe_refresh_keeps_neighbours(self):
+        from repro.harness.scenarios import build_dvmrp_group
+        from repro.topology.generators import waxman_network
+
+        net = waxman_network(6, seed=31)
+        domain, group = build_dvmrp_group(net, ["H_N2"], prune_lifetime=60.0)
+        net.run(until=net.scheduler.now + 60.0)
+        p = domain.protocol("N0")
+        live = set()
+        for vif in range(len(net.router("N0").interfaces)):
+            live |= p._live_neighbours(vif)
+        assert live  # probes every 10 s keep the table warm

@@ -1,0 +1,84 @@
+"""Tests for the IP/UDP datagram model."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.netsim.packet import (
+    DEFAULT_TTL,
+    IPDatagram,
+    PROTO_UDP,
+    UDPDatagram,
+    make_udp,
+)
+
+SRC = IPv4Address("10.0.0.1")
+DST = IPv4Address("10.0.1.1")
+GROUP = IPv4Address("239.0.0.1")
+
+
+class TestIPDatagram:
+    def test_uids_are_unique(self):
+        a = IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"")
+        b = IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"")
+        assert a.uid != b.uid
+
+    def test_decrement_preserves_uid(self):
+        a = IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"")
+        b = a.decremented()
+        assert b.uid == a.uid
+        assert b.ttl == a.ttl - 1
+
+    def test_decrement_below_zero_rejected(self):
+        a = IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"", ttl=0)
+        with pytest.raises(ValueError):
+            a.decremented()
+
+    def test_ttl_range_validated(self):
+        with pytest.raises(ValueError):
+            IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"", ttl=256)
+
+    def test_with_ttl(self):
+        a = IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"")
+        assert a.with_ttl(1).ttl == 1
+        assert a.with_ttl(1).uid == a.uid
+
+    def test_multicast_detection(self):
+        assert IPDatagram(src=SRC, dst=GROUP, proto=PROTO_UDP, payload=b"").is_multicast
+        assert not IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"").is_multicast
+
+    def test_default_ttl(self):
+        assert IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"").ttl == DEFAULT_TTL
+
+    def test_size_accounts_for_headers(self):
+        plain = IPDatagram(src=SRC, dst=DST, proto=PROTO_UDP, payload=b"")
+        udp = make_udp(SRC, DST, 1000, 2000, b"")
+        assert udp.size_bytes() > 20  # IP + UDP headers at minimum
+        assert plain.size_bytes() >= 20
+
+    def test_size_of_nested_ip(self):
+        inner = IPDatagram(src=SRC, dst=GROUP, proto=PROTO_UDP, payload=b"")
+        outer = IPDatagram(src=SRC, dst=DST, proto=4, payload=inner)
+        assert outer.size_bytes() == 20 + inner.size_bytes()
+
+
+class TestUDPDatagram:
+    def test_valid_ports(self):
+        UDPDatagram(sport=1, dport=65535, payload=None)
+
+    @pytest.mark.parametrize("sport,dport", [(0, 80), (80, 0), (70000, 80)])
+    def test_invalid_ports_rejected(self, sport, dport):
+        with pytest.raises(ValueError):
+            UDPDatagram(sport=sport, dport=dport, payload=None)
+
+
+class TestMakeUdp:
+    def test_builds_udp_in_ip(self):
+        d = make_udp(SRC, DST, 7777, 7777, payload="x")
+        assert d.proto == PROTO_UDP
+        assert isinstance(d.payload, UDPDatagram)
+        assert d.payload.payload == "x"
+
+    def test_explicit_uid(self):
+        d = make_udp(SRC, DST, 7777, 7777, payload=None, uid=42)
+        assert d.uid == 42

@@ -1,0 +1,122 @@
+"""Tests for core placement strategies."""
+
+import random
+
+import pytest
+
+from repro.baselines.trees import shared_tree
+from repro.core.placement import (
+    best_of_candidates,
+    max_degree_core,
+    member_centroid_core,
+    random_core,
+    rank_cores,
+    topology_center_core,
+)
+from repro.metrics.delay import summarise_stretch
+from repro.topology.generators import line_graph, star_graph, waxman_graph
+
+
+def members_of(graph, count, seed=0):
+    rng = random.Random(seed)
+    return sorted(rng.sample(graph.nodes, count))
+
+
+class TestStrategies:
+    def test_random_core_is_a_node(self):
+        g = waxman_graph(20, seed=0)
+        assert random_core(g, random.Random(1)) in g.nodes
+
+    def test_random_core_deterministic_per_seed(self):
+        g = waxman_graph(20, seed=0)
+        assert random_core(g, random.Random(5)) == random_core(g, random.Random(5))
+
+    def test_max_degree_on_star(self):
+        assert max_degree_core(star_graph(8)) == "N0"
+
+    def test_center_on_line(self):
+        g = line_graph(9)
+        assert topology_center_core(g) == "N4"
+
+    def test_member_centroid_prefers_member_region(self):
+        g = line_graph(11)
+        # Members clustered at one end; the centroid must be near them.
+        core = member_centroid_core(g, ["N0", "N1", "N2"])
+        assert core in ("N0", "N1", "N2")
+
+    def test_member_centroid_requires_members(self):
+        with pytest.raises(ValueError):
+            member_centroid_core(line_graph(5), [])
+
+    def test_best_of_candidates_beats_single_random_on_average(self):
+        g = waxman_graph(40, seed=3)
+        members = members_of(g, 8, seed=3)
+
+        def mean_total(core):
+            return g.total_distance(core, members, weight="delay")
+
+        rng = random.Random(0)
+        best_scores = [
+            mean_total(best_of_candidates(g, members, random.Random(s), k=5))
+            for s in range(20)
+        ]
+        random_scores = [
+            mean_total(random_core(g, random.Random(s))) for s in range(20)
+        ]
+        assert sum(best_scores) / 20 <= sum(random_scores) / 20
+
+    def test_best_of_candidates_k_validated(self):
+        g = waxman_graph(10, seed=0)
+        with pytest.raises(ValueError):
+            best_of_candidates(g, g.nodes[:2], random.Random(0), k=0)
+
+    def test_best_of_candidates_custom_score(self):
+        g = line_graph(9)
+        members = ["N0", "N8"]
+        # Max-delay objective: any middle node minimises it.
+        core = best_of_candidates(
+            g,
+            members,
+            random.Random(0),
+            k=len(g.nodes) * 3,
+            score=lambda graph, node, m: max(
+                graph.distance(node, t, weight="delay") for t in m
+            ),
+        )
+        assert core in ("N3", "N4", "N5")
+
+    def test_rank_cores_ordered_and_distinct(self):
+        g = waxman_graph(30, seed=4)
+        members = members_of(g, 6, seed=4)
+        cores = rank_cores(g, members, count=3)
+        assert len(cores) == 3
+        assert len(set(cores)) == 3
+        totals = [g.total_distance(c, members, weight="delay") for c in cores]
+        assert totals == sorted(totals)
+
+
+class TestPlacementQuality:
+    def test_good_placement_gives_lower_stretch_than_bad(self):
+        """The E4 claim: placement drives shared-tree delay quality.
+
+        Compare the member centroid against the worst random corner
+        over several topologies; the centroid must win on average.
+        """
+        good_wins = 0
+        trials = 5
+        for seed in range(trials):
+            g = waxman_graph(40, seed=seed)
+            members = members_of(g, 8, seed=seed)
+            good = member_centroid_core(g, members)
+            # adversarial: the node with the worst total distance
+            bad = max(
+                g.nodes,
+                key=lambda n: g.total_distance(n, members, weight="delay"),
+            )
+            good_tree = shared_tree(g, good, members, weight="delay")
+            bad_tree = shared_tree(g, bad, members, weight="delay")
+            good_mean, _ = summarise_stretch(g, good_tree, members, members)
+            bad_mean, _ = summarise_stretch(g, bad_tree, members, members)
+            if good_mean <= bad_mean:
+                good_wins += 1
+        assert good_wins >= trials - 1

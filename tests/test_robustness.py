@@ -1,0 +1,143 @@
+"""Robustness under packet loss and legacy-IGMP hosts.
+
+The spec's retransmission machinery (PEND-JOIN-INTERVAL retransmits,
+quit retries, echo redundancy) must carry the protocol through lossy
+links; §2.4 requires CBT to serve hosts that cannot issue RP/Core
+Reports (IGMP v1/v2) by obtaining the <core, group> mapping through
+network management — our GroupCoordinator.
+"""
+
+import pytest
+
+from repro import CBTDomain, build_figure1, group_address
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.netsim.packet import PROTO_UDP
+from tests.conftest import join_members
+
+
+class EveryNth:
+    """Deterministic loss model: drop every n-th matching packet."""
+
+    def __init__(self, n: int, proto: int = PROTO_UDP) -> None:
+        self.n = n
+        self.proto = proto
+        self.count = 0
+        self.dropped = 0
+
+    def __call__(self, datagram) -> bool:
+        if datagram.proto != self.proto:
+            return False
+        self.count += 1
+        if self.count % self.n == 0:
+            self.dropped += 1
+            return True
+        return False
+
+
+class TestLossyControlPlane:
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_joins_survive_periodic_loss(self, n):
+        """Every n-th control packet on the R3-R4 link is lost; the
+        retransmission machinery must still build the tree."""
+        net = build_figure1()
+        loss = EveryNth(n)
+        net.link("L_R3_R4").loss = loss
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()
+        net.run(until=3.0)
+        join_members(net, domain, group, ["A", "B", "H"], settle=20.0)
+        assert loss.dropped > 0, "the loss model never fired"
+        for name in ("R1", "R2", "R8", "R9", "R10"):
+            assert domain.protocol(name).is_on_tree(group), name
+        domain.assert_tree_consistent(group)
+
+    def test_quits_survive_loss(self):
+        net = build_figure1()
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()
+        net.run(until=3.0)
+        join_members(net, domain, group, ["A", "H"])
+        # Lose every 2nd control packet on R10's uplink during teardown.
+        loss = EveryNth(2)
+        net.link("L_R9_R10").loss = loss
+        domain.leave_host("H", group)
+        net.run(until=net.scheduler.now + 60.0)
+        assert not domain.protocol("R10").is_on_tree(group)
+        # The parent side converges too (quit received or child expired
+        # later via CHILD-ASSERT; within this horizon the quit retry
+        # must have landed).
+        entry9 = domain.protocol("R9").fib.get(group)
+        r10_addresses = {
+            i.address for i in net.router("R10").interfaces
+        }
+        assert entry9 is None or not (set(entry9.children) & r10_addresses)
+
+    def test_lossy_echoes_do_not_false_positive(self):
+        """Echo loss below the timeout threshold must not tear trees."""
+        net = build_figure1()
+        net.link("L_R3_R4").loss = EveryNth(4)  # 25% control loss
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()
+        net.run(until=3.0)
+        join_members(net, domain, group, ["A"])
+        # Several echo-timeout windows: with echo_interval=3 and
+        # timeout=9, one loss in four leaves plenty of replies.
+        net.run(until=net.scheduler.now + FAST_TIMERS.echo_timeout * 4)
+        assert not domain.protocol("R3").events_of("parent_lost")
+        assert domain.protocol("R1").is_on_tree(group)
+
+
+class TestLegacyIGMPHosts:
+    """§2.4: IGMPv1/v2 hosts cannot send RP/Core-Reports."""
+
+    def test_join_without_core_report_uses_management_mapping(self):
+        """The D-DR learns the mapping from the coordinator (the
+        'network management' path of §2.4)."""
+        net = build_figure1()
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()
+        net.run(until=3.0)
+        # A legacy host joins with a bare membership report, no cores.
+        domain.agent("A").join(group, cores=None)
+        net.run(until=8.0)
+        assert domain.protocol("R1").is_on_tree(group)
+        assert domain.protocol("R1").tree_parent(group) is not None
+
+    def test_join_without_any_mapping_waits_for_core_report(self):
+        """No coordinator entry and no core report: the DR parks the
+        join and completes it when the mapping finally arrives."""
+        net = build_figure1()
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        unknown = group_address(3)  # never created via the coordinator
+        domain.start()
+        net.run(until=3.0)
+        domain.agent("A").join(unknown, cores=None)
+        net.run(until=8.0)
+        assert not domain.protocol("R1").is_on_tree(unknown)
+        # A v3 host on the same LAN later supplies the mapping.
+        cores = (net.router("R4").primary_address,)
+        domain.agent("C").join(unknown, cores=cores)
+        net.run(until=net.scheduler.now + 5.0)
+        assert domain.protocol("R1").is_on_tree(unknown)
+
+    def test_mixed_legacy_and_v3_hosts_one_tree(self):
+        net = build_figure1()
+        domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+        group = group_address(0)
+        domain.create_group(group, cores=["R4", "R9"])
+        domain.start()
+        net.run(until=3.0)
+        domain.agent("A").join(group, cores=None)  # legacy
+        domain.join_host("H", group)  # v3 with core report
+        net.run(until=8.0)
+        domain.assert_tree_consistent(group)
+        uid = send_data(net, "H", group, count=1)[0]
+        assert sum(1 for d in net.host("A").delivered if d.uid == uid) == 1

@@ -1,0 +1,189 @@
+"""Tests for routing tables, SPF computation, and unicast forwarding."""
+
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.netsim.packet import IPDatagram, PROTO_UDP, make_udp
+from repro.topology.builder import Network
+
+
+def line_of_routers(n, lan_tails=True):
+    """r0 - r1 - ... - r(n-1), each with an optional stub LAN + host."""
+    net = Network()
+    routers = [net.add_router(f"r{i}") for i in range(n)]
+    for i in range(n - 1):
+        net.add_p2p(f"l{i}", routers[i], routers[i + 1])
+    hosts = []
+    if lan_tails:
+        for i, router in enumerate(routers):
+            subnet = net.add_subnet(f"lan{i}", [router])
+            hosts.append(net.add_host(f"h{i}", subnet))
+    net.converge()
+    return net, routers, hosts
+
+
+class TestSPF:
+    def test_route_metrics_reflect_hop_count(self):
+        net, routers, hosts = line_of_routers(4)
+        route = routers[0].table.lookup(hosts[3].interface.address)
+        assert route is not None
+        assert route.metric == pytest.approx(3.0)
+
+    def test_next_hop_is_adjacent(self):
+        net, routers, hosts = line_of_routers(3)
+        route = routers[0].table.lookup(hosts[2].interface.address)
+        assert route.next_hop in {i.address for i in routers[1].interfaces}
+
+    def test_direct_subnets_not_in_table(self):
+        net, routers, hosts = line_of_routers(2)
+        own = routers[0].interfaces[0].network
+        assert all(r.prefix != own for r in routers[0].table)
+
+    def test_best_route_covers_direct(self):
+        net, routers, hosts = line_of_routers(2)
+        route = routers[0].best_route(hosts[0].interface.address)
+        assert route is not None and route.is_direct
+
+    def test_cost_preference(self):
+        net = Network()
+        a, b, c = (net.add_router(x) for x in "abc")
+        net.add_p2p("cheap1", a, b, cost=1)
+        net.add_p2p("cheap2", b, c, cost=1)
+        net.add_p2p("expensive", a, c, cost=10)
+        lan = net.add_subnet("lan", [c])
+        net.converge()
+        target = IPv4Address(int(lan.network.network_address) + 99)
+        route = a.best_route(target)
+        # Metric counts the distance to the attached router (a->b->c);
+        # the stub LAN itself adds nothing.
+        assert route.metric == pytest.approx(2.0)
+        assert route.next_hop in {i.address for i in b.interfaces}
+
+    def test_failure_reroutes(self):
+        net = Network()
+        a, b, c = (net.add_router(x) for x in "abc")
+        net.add_p2p("ab", a, b, cost=1)
+        net.add_p2p("bc", b, c, cost=1)
+        net.add_p2p("ac", a, c, cost=5)
+        lan = net.add_subnet("lan", [c])
+        net.converge()
+        target = IPv4Address(int(lan.network.network_address) + 9)
+        assert a.best_route(target).metric == pytest.approx(2.0)
+        net.fail_link("bc")
+        assert a.best_route(target).metric == pytest.approx(5.0)
+        net.restore_link("bc")
+        assert a.best_route(target).metric == pytest.approx(2.0)
+
+    def test_partition_removes_routes(self):
+        net, routers, hosts = line_of_routers(3)
+        net.fail_link("l0")
+        assert routers[0].best_route(hosts[2].interface.address) is None
+
+    def test_cost_override_changes_path(self):
+        net = Network()
+        a, b, c = (net.add_router(x) for x in "abc")
+        ab = net.add_p2p("ab", a, b, cost=1)
+        bc = net.add_p2p("bc", b, c, cost=1)
+        ac = net.add_p2p("ac", a, c, cost=3)
+        lan = net.add_subnet("lan", [c])
+        net.routing.override_cost(a, ab, 10.0)
+        net.converge()
+        target = IPv4Address(int(lan.network.network_address) + 2)
+        # a now sees a->b at cost 10, so the direct a-c link wins.
+        assert a.best_route(target).interface.link is ac
+
+    def test_path_helper_follows_routes(self):
+        net, routers, hosts = line_of_routers(4)
+        path = net.routing.path(routers[0], hosts[3].interface.address)
+        assert [r.name for r in path] == ["r0", "r1", "r2", "r3"]
+
+    def test_distance_helper(self):
+        net, routers, _ = line_of_routers(4, lan_tails=False)
+        assert net.routing.distance(routers[0], routers[3]) == pytest.approx(3.0)
+        net.fail_link("l1")
+        assert net.routing.distance(routers[0], routers[3]) == float("inf")
+
+
+class TestUnicastForwarding:
+    def test_host_to_host_across_routers(self):
+        net, routers, hosts = line_of_routers(3)
+        d = make_udp(
+            hosts[0].interface.address, hosts[2].interface.address, 1234, 80, b"hi"
+        )
+        hosts[0].originate(d)
+        net.run()
+        assert any(r.uid == d.uid for r in hosts[2].local_rx)
+
+    def test_ttl_expiry_stops_forwarding(self):
+        net, routers, hosts = line_of_routers(4)
+        d = make_udp(
+            hosts[0].interface.address, hosts[3].interface.address, 1234, 80, b"", ttl=2
+        )
+        hosts[0].originate(d)
+        net.run()
+        assert not hosts[3].local_rx
+
+    def test_router_does_not_forward_packets_to_itself(self):
+        net, routers, hosts = line_of_routers(2)
+        target = routers[1].interfaces[0].address
+        d = make_udp(hosts[0].interface.address, target, 1, 1, b"")
+        hosts[0].originate(d)
+        net.run()
+        assert any(r.uid == d.uid for r in routers[1].local_rx)
+
+    def test_no_route_drops_silently(self):
+        net, routers, hosts = line_of_routers(2)
+        d = make_udp(
+            hosts[0].interface.address, IPv4Address("203.0.113.7"), 1, 1, b""
+        )
+        hosts[0].originate(d)
+        net.run()  # must simply not crash
+
+    def test_host_without_gateway_cannot_reach_off_subnet(self):
+        net, routers, hosts = line_of_routers(2)
+        hosts[0].default_gateway = None
+        d = make_udp(hosts[0].interface.address, hosts[1].interface.address, 1, 1, b"")
+        hosts[0].originate(d)
+        net.run()
+        assert not hosts[1].local_rx
+
+    def test_forwarded_count_increments(self):
+        net, routers, hosts = line_of_routers(3)
+        d = make_udp(hosts[0].interface.address, hosts[2].interface.address, 1, 1, b"")
+        hosts[0].originate(d)
+        net.run()
+        assert routers[0].forwarded_count >= 1
+        assert routers[1].forwarded_count >= 1
+
+
+class TestRoutingTable:
+    def test_longest_prefix_match(self):
+        from repro.routing.table import Route, RoutingTable
+        from ipaddress import IPv4Network
+
+        net, routers, hosts = line_of_routers(2)
+        iface = routers[0].interfaces[0]
+        table = RoutingTable()
+        broad = Route(IPv4Network("10.0.0.0/8"), iface, None, 1.0)
+        narrow = Route(IPv4Network("10.0.1.0/24"), iface, None, 1.0)
+        table.install(broad)
+        table.install(narrow)
+        assert table.lookup(IPv4Address("10.0.1.5")) is narrow
+        assert table.lookup(IPv4Address("10.0.2.5")) is broad
+
+    def test_remove_and_clear(self):
+        from repro.routing.table import Route, RoutingTable
+        from ipaddress import IPv4Network
+
+        net, routers, hosts = line_of_routers(2)
+        iface = routers[0].interfaces[0]
+        table = RoutingTable()
+        route = Route(IPv4Network("10.0.0.0/8"), iface, None, 1.0)
+        table.install(route)
+        assert len(table) == 1
+        table.remove(route.prefix)
+        assert len(table) == 0
+        table.install(route)
+        table.clear()
+        assert table.lookup(IPv4Address("10.0.0.1")) is None

@@ -1,0 +1,140 @@
+"""Tree teardown tests: quits and flushes (spec §2.7)."""
+
+from repro import CBTDomain, group_address
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
+from tests.conftest import join_members
+
+
+def run_quiet(network, seconds):
+    network.run(until=network.scheduler.now + seconds)
+
+
+class TestQuit:
+    """§2.7 walk-through: B leaves S4; R2 quits toward R3."""
+
+    def test_leaf_quits_after_last_member_leaves(
+        self, figure1_domain, figure1_network
+    ):
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A", "B"])
+        assert domain.protocol("R2").is_on_tree(group)
+        domain.leave_host("B", group)
+        run_quiet(figure1_network, 30.0)
+        p2 = domain.protocol("R2")
+        assert not p2.is_on_tree(group)
+        assert p2.events_of("quit")
+
+    def test_parent_removes_quitting_child(self, figure1_domain, figure1_network):
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A", "B"])
+        domain.leave_host("B", group)
+        run_quiet(figure1_network, 30.0)
+        entry3 = domain.protocol("R3").fib.get(group)
+        r2_addresses = {
+            i.address for i in figure1_network.router("R2").interfaces
+        }
+        assert entry3 is not None
+        assert not (set(entry3.children) & r2_addresses)
+
+    def test_parent_with_other_children_does_not_quit(
+        self, figure1_domain, figure1_network
+    ):
+        """The walk-through: R3 still has child R1, so R3 stays."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A", "B"])
+        domain.leave_host("B", group)
+        run_quiet(figure1_network, 30.0)
+        assert domain.protocol("R3").is_on_tree(group)
+
+    def test_quits_cascade_up_an_empty_branch(self, figure1_domain, figure1_network):
+        """When the last downstream member leaves, every router on the
+        branch quits in turn (§2.7: the parent 'checks whether it in
+        turn can send a quit')."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A", "H"])
+        for name in ("R8", "R9", "R10"):
+            assert domain.protocol(name).is_on_tree(group)
+        domain.leave_host("H", group)
+        run_quiet(figure1_network, 40.0)
+        for name in ("R8", "R9", "R10"):
+            assert not domain.protocol(name).is_on_tree(group), name
+        # The A-side branch is untouched.
+        assert domain.protocol("R1").is_on_tree(group)
+        domain.assert_tree_consistent(group)
+
+    def test_member_subnet_keeps_router_on_tree(
+        self, figure1_domain, figure1_network
+    ):
+        """R10 serves both S13 (H) and S15 (J): H leaving must not tear
+        the branch down while J remains."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["H", "J"])
+        domain.leave_host("H", group)
+        run_quiet(figure1_network, 40.0)
+        assert domain.protocol("R10").is_on_tree(group)
+
+    def test_cores_do_not_quit(self, figure1_domain, figure1_network):
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["D"])
+        assert domain.protocol("R4").is_on_tree(group)
+        domain.leave_host("D", group)
+        run_quiet(figure1_network, 40.0)
+        # R4 is the primary core: with no members it keeps its (empty)
+        # root entry harmlessly or drops it, but must not send quits.
+        assert domain.protocol("R4").stats.sent.get("QUIT_REQUEST", 0) == 0
+
+    def test_unresponsive_parent_forces_unilateral_quit(
+        self, figure1_domain, figure1_network
+    ):
+        """§8.3: after a few unanswered QUIT_REQUESTs the child removes
+        its parent information regardless."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["H"])
+        # Cut R10 off from its parent R9 before the leave.
+        figure1_network.fail_link("L_R9_R10", reconverge=False)
+        domain.leave_host("H", group)
+        run_quiet(figure1_network, 60.0)
+        p10 = domain.protocol("R10")
+        assert not p10.is_on_tree(group)
+        assert p10.events_of("quit_forced")
+
+
+class TestFlush:
+    def test_flush_clears_branch_and_members_rejoin(
+        self, figure1_domain, figure1_network
+    ):
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A", "H"])
+        # R8 flushes its downstream branch (R9 -> R10).
+        p8 = domain.protocol("R8")
+        entry = p8.fib.get(group)
+        assert entry is not None
+        p8._send_flush_downstream(entry)
+        for child in list(entry.children):
+            entry.remove_child(child)
+        run_quiet(figure1_network, 20.0)
+        # R10 had member subnets, so it must have re-established itself.
+        assert domain.protocol("R10").is_on_tree(group)
+        domain.assert_tree_consistent(group)
+
+    def test_flush_from_non_parent_ignored(self, figure1_domain, figure1_network):
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A"])
+        from repro.core.constants import MessageType
+        from repro.core.messages import CBTControlMessage
+
+        p1 = domain.protocol("R1")
+        # Forge a flush from a non-parent (R6's address).
+        forged_src = figure1_network.router("R6").primary_address
+        iface = figure1_network.router("R1").interfaces[0]
+        p1._recv_flush(
+            iface,
+            forged_src,
+            CBTControlMessage(
+                msg_type=MessageType.FLUSH_TREE,
+                code=0,
+                group=group,
+                origin=forged_src,
+            ),
+        )
+        assert p1.is_on_tree(group)  # unaffected

@@ -1,0 +1,94 @@
+"""Tests for the spec's timer table (§9) and protocol constants (§8)."""
+
+import pytest
+
+from repro.core.constants import (
+    CBT_AUX_PORT,
+    CBT_PORT,
+    JoinAckSubcode,
+    JoinSubcode,
+    MessageType,
+)
+from repro.core.timers import CBTTimers, DEFAULT_TIMERS
+
+
+class TestSpecDefaults:
+    """The §9 table, value for value."""
+
+    def test_echo_interval(self):
+        assert DEFAULT_TIMERS.echo_interval == 30.0
+
+    def test_pend_join_interval(self):
+        assert DEFAULT_TIMERS.pend_join_interval == 10.0
+
+    def test_pend_join_timeout(self):
+        assert DEFAULT_TIMERS.pend_join_timeout == 30.0
+
+    def test_expire_pending_join(self):
+        assert DEFAULT_TIMERS.expire_pending_join == 90.0
+
+    def test_echo_timeout(self):
+        assert DEFAULT_TIMERS.echo_timeout == 90.0
+
+    def test_child_assert_interval(self):
+        assert DEFAULT_TIMERS.child_assert_interval == 90.0
+
+    def test_child_assert_expire(self):
+        assert DEFAULT_TIMERS.child_assert_expire == 180.0
+
+    def test_iff_scan_interval(self):
+        assert DEFAULT_TIMERS.iff_scan_interval == 300.0
+
+    def test_reconnect_timeout(self):
+        assert DEFAULT_TIMERS.reconnect_timeout == 90.0
+
+
+class TestTimerOps:
+    def test_scaled_preserves_ratios(self):
+        scaled = DEFAULT_TIMERS.scaled(0.1)
+        assert scaled.echo_interval == pytest.approx(3.0)
+        assert scaled.echo_timeout / scaled.echo_interval == pytest.approx(
+            DEFAULT_TIMERS.echo_timeout / DEFAULT_TIMERS.echo_interval
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TIMERS.scaled(0)
+
+    def test_with_overrides(self):
+        custom = DEFAULT_TIMERS.with_overrides(echo_interval=5.0)
+        assert custom.echo_interval == 5.0
+        assert custom.echo_timeout == DEFAULT_TIMERS.echo_timeout
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_TIMERS.echo_interval = 1.0  # type: ignore[misc]
+
+
+class TestConstants:
+    def test_udp_ports(self):
+        # Spec §3: primary 7777, auxiliary 7778.
+        assert CBT_PORT == 7777
+        assert CBT_AUX_PORT == 7778
+
+    def test_message_type_numbering(self):
+        # Spec §8.3/§8.4 numbering.
+        assert MessageType.JOIN_REQUEST == 1
+        assert MessageType.JOIN_ACK == 2
+        assert MessageType.JOIN_NACK == 3
+        assert MessageType.QUIT_REQUEST == 4
+        assert MessageType.QUIT_ACK == 5
+        assert MessageType.FLUSH_TREE == 6
+        assert MessageType.ECHO_REQUEST == 7
+        assert MessageType.ECHO_REPLY == 8
+
+    def test_join_subcodes(self):
+        # Spec §8.3.1.
+        assert JoinSubcode.ACTIVE_JOIN == 0
+        assert JoinSubcode.REJOIN_ACTIVE == 1
+        assert JoinSubcode.REJOIN_NACTIVE == 2
+
+    def test_ack_subcodes(self):
+        assert JoinAckSubcode.NORMAL == 0
+        assert JoinAckSubcode.PROXY_ACK == 1
+        assert JoinAckSubcode.REJOIN_NACTIVE == 2

@@ -1,0 +1,137 @@
+"""§5.2 integration: tunnel rankings replacing unicast routing.
+
+Topology: two CBT islands joined by two parallel tunnels (modelled as
+point-to-point links in 'cbt' mode, i.e. the non-CBT cloud is
+abstracted into the link).  The edge router ranks the tunnels per
+core; joins must follow the ranking, fail over to the backup when the
+preferred tunnel dies, and data must flow with the appropriate
+encapsulation.
+
+    coreside: CORE --- EDGE_A  ~~tunnel1~~  EDGE_B --- LEAF (member LAN)
+                             ~~tunnel2~~
+"""
+
+import pytest
+
+from repro import CBTDomain, group_address
+from repro.core.tunnels import TunnelEntry, TunnelTable
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.topology.builder import Network
+
+
+def build_tunnel_net(mode="cbt"):
+    net = Network()
+    core = net.add_router("CORE")
+    edge_a = net.add_router("EDGE_A")
+    edge_b = net.add_router("EDGE_B")
+    leaf = net.add_router("LEAF")
+    net.add_p2p("core_link", core, edge_a)
+    tunnel1 = net.add_p2p("tunnel1", edge_a, edge_b, mode="cbt", delay=0.02)
+    tunnel2 = net.add_p2p("tunnel2", edge_a, edge_b, mode="cbt", delay=0.05)
+    net.add_p2p("leaf_link", edge_b, leaf)
+    member_lan = net.add_subnet("member_lan", [leaf])
+    sender_lan = net.add_subnet("sender_lan", [core])
+    net.add_host("member", member_lan)
+    net.add_host("sender", sender_lan)
+    net.converge()
+
+    domain = CBTDomain(net, timers=FAST_TIMERS, igmp_config=FAST_IGMP, mode=mode)
+    group = group_address(0)
+    domain.create_group(group, cores=["CORE"])
+
+    # EDGE_B ranks its two tunnel interfaces toward CORE: tunnel1 first.
+    table = TunnelTable()
+    t1_iface = edge_b.interface_on(tunnel1.network)
+    t2_iface = edge_b.interface_on(tunnel2.network)
+    remote_t1 = edge_a.interface_on(tunnel1.network).address
+    remote_t2 = edge_a.interface_on(tunnel2.network).address
+    table.configure(
+        TunnelEntry(vif=t1_iface.vif, kind="tunnel", mode="cbt", remote_address=remote_t1)
+    )
+    table.configure(
+        TunnelEntry(vif=t2_iface.vif, kind="tunnel", mode="cbt", remote_address=remote_t2)
+    )
+    core_address = core.primary_address
+    table.rank(core_address, [t1_iface.vif, t2_iface.vif])
+    domain.protocol("EDGE_B").configure_tunnels(table)
+
+    domain.start()
+    net.run(until=3.0)
+    return net, domain, group, (t1_iface, t2_iface)
+
+
+class TestRankedTunnelJoins:
+    def test_join_uses_highest_ranked_tunnel(self):
+        net, domain, group, (t1, t2) = build_tunnel_net()
+        domain.join_host("member", group)
+        net.run(until=8.0)
+        pb = domain.protocol("EDGE_B")
+        assert pb.is_on_tree(group)
+        entry = pb.fib.get(group)
+        assert entry.parent_vif == t1.vif  # the preferred tunnel
+
+    def test_failover_to_backup_tunnel(self):
+        net, domain, group, (t1, t2) = build_tunnel_net()
+        net.fail_link("tunnel1", reconverge=True)
+        domain.join_host("member", group)
+        net.run(until=8.0)
+        pb = domain.protocol("EDGE_B")
+        assert pb.is_on_tree(group)
+        assert pb.fib.get(group).parent_vif == t2.vif
+
+    def test_all_tunnels_down_yields_no_route(self):
+        net, domain, group, (t1, t2) = build_tunnel_net()
+        net.fail_link("tunnel1", reconverge=False)
+        net.fail_link("tunnel2", reconverge=True)
+        domain.join_host("member", group)
+        net.run(until=15.0)
+        pb = domain.protocol("EDGE_B")
+        assert not pb.is_on_tree(group)
+        # The failure surfaces wherever the join dead-ends: at LEAF
+        # (unicast routing is partitioned) or at EDGE_B (every ranked
+        # tunnel down).
+        blocked = [
+            domain.protocol(name).events_of("no_route")
+            or domain.protocol(name).events_of("gave_up")
+            for name in ("LEAF", "EDGE_B")
+        ]
+        assert any(blocked)
+
+    def test_data_crosses_tunnel_cbt_mode(self):
+        net, domain, group, _ = build_tunnel_net(mode="cbt")
+        domain.join_host("member", group)
+        net.run(until=8.0)
+        uid = send_data(net, "sender", group, count=1)[0]
+        copies = sum(1 for d in net.host("member").delivered if d.uid == uid)
+        assert copies == 1
+
+    def test_data_crosses_tunnel_native_mode_with_ipip(self):
+        """§4: tunnels inside a native-mode cloud carry IP-over-IP."""
+        from repro.netsim.packet import PROTO_IPIP
+
+        net, domain, group, _ = build_tunnel_net(mode="native")
+        domain.join_host("member", group)
+        net.run(until=8.0)
+        net.trace.clear()
+        uid = send_data(net, "sender", group, count=1)[0]
+        copies = sum(1 for d in net.host("member").delivered if d.uid == uid)
+        assert copies == 1
+        ipip = net.trace.filter(kind="tx", proto=PROTO_IPIP)
+        assert ipip, "no IP-over-IP encapsulation crossed the tunnel"
+
+    def test_runtime_tunnel_failure_recovers_over_backup(self):
+        net, domain, group, (t1, t2) = build_tunnel_net()
+        domain.join_host("member", group)
+        net.run(until=8.0)
+        net.fail_link("tunnel1")
+        horizon = (
+            FAST_TIMERS.echo_timeout
+            + FAST_TIMERS.echo_interval * 4
+            + FAST_TIMERS.reconnect_timeout
+        )
+        net.run(until=net.scheduler.now + horizon)
+        pb = domain.protocol("EDGE_B")
+        assert pb.is_on_tree(group)
+        assert pb.fib.get(group).parent_vif == t2.vif
+        uid = send_data(net, "sender", group, count=1)[0]
+        assert sum(1 for d in net.host("member").delivered if d.uid == uid) == 1
