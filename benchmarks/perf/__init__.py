@@ -1,0 +1,20 @@
+"""Persistent perf-regression harness (``python -m benchmarks.perf``).
+
+A fixed micro+macro suite over the simulator's hot paths — route
+lookup, SPF recomputation, scheduler churn, wire-format codecs, and
+the scale sweep — that writes machine-readable ``BENCH_<name>.json``
+artifacts at the repository root.  Committed artifacts give every
+future PR a trajectory to compare against; the built-in check fails
+loudly (exit 1) only on >3x regressions, a threshold wide enough to
+be robust to machine noise.
+
+See docs/PERFORMANCE.md for the metric definitions and the reading
+guide.
+"""
+
+from benchmarks.perf.suite import (  # noqa: F401
+    BENCHMARKS,
+    REGRESSION_FACTOR,
+    check_regressions,
+    run_suite,
+)

@@ -1,0 +1,62 @@
+"""Entry point: ``python -m benchmarks.perf [--quick] [--only NAME ...]``.
+
+Runs the perf-regression suite, writes ``BENCH_<name>.json`` artifacts
+at the repository root, and exits 1 when any measured metric is more
+than 3x worse than its stored baseline (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from benchmarks.perf.suite import BENCHMARKS, run_suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="perf-regression suite (writes BENCH_<name>.json artifacts)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes; the whole suite finishes in under a minute",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help=f"run a subset (repeatable); one of: {', '.join(BENCHMARKS)}",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each benchmark under cProfile and print the top functions",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the >3x regression gate against stored artifacts",
+    )
+    parser.add_argument(
+        "--output-dir",
+        help="write BENCH_*.json here instead of the repository root",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_suite(
+        quick=args.quick,
+        only=args.only,
+        profile=args.profile,
+        check=not args.no_check,
+        output_dir=args.output_dir,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,347 @@
+"""The perf-regression benchmark suite.
+
+Every benchmark is a function ``(quick: bool) -> Dict[str, Metric]``
+registered in :data:`BENCHMARKS`.  A metric is a plain dict::
+
+    {"value": 31250.0, "unit": "events/s", "higher_is_better": True}
+
+Artifacts are written as ``BENCH_<name>.json`` at the repository root.
+Quick runs measure a subset of sizes; metrics a run did not measure
+are preserved from the existing artifact so the full-run baselines
+(e.g. the largest scale-sweep size) survive quick gate runs.
+
+Regressions: a metric regresses when it is more than
+:data:`REGRESSION_FACTOR` times worse than the stored baseline.  The
+factor is deliberately wide (3x) so the gate trips on real algorithmic
+regressions, not machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from ipaddress import IPv4Address, IPv4Network
+from typing import Callable, Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+REGRESSION_FACTOR = 3.0
+
+Metric = Dict[str, object]
+
+
+def _metric(value: float, unit: str, higher_is_better: bool = True) -> Metric:
+    return {
+        "value": round(float(value), 3),
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+    }
+
+
+def _time_ops(fn: Callable[[], object], min_seconds: float = 0.2) -> float:
+    """Run ``fn`` repeatedly for at least ``min_seconds``; returns ops/s."""
+    # Warm-up (fills caches, compiles bytecode paths).
+    fn()
+    count = 0
+    start = time.perf_counter()
+    deadline = start + min_seconds
+    while True:
+        fn()
+        count += 1
+        now = time.perf_counter()
+        if now >= deadline:
+            return count / (now - start)
+
+
+# -- benchmarks -------------------------------------------------------------
+
+
+def bench_route_lookup(quick: bool) -> Dict[str, Metric]:
+    """Indexed + memoized RoutingTable.lookup vs the naive linear scan."""
+    from repro.routing.table import Route, RoutingTable
+    from repro.topology.builder import Network
+
+    net = Network(trace_enabled=False)
+    router = net.add_router("bench")
+    net.add_subnet("lan", [router])
+    iface = router.interfaces[0]
+
+    n_routes = 1024 if quick else 4096
+    table = RoutingTable()
+    for i in range(n_routes):
+        prefix = IPv4Network((int(IPv4Address("10.0.0.0")) + (i << 8), 24))
+        table.install(Route(prefix, iface, None, 1.0))
+    targets = [
+        IPv4Address(int(IPv4Address("10.0.0.7")) + ((i * 37 % n_routes) << 8))
+        for i in range(256)
+    ]
+
+    def indexed() -> None:
+        for t in targets:
+            table.lookup(t)
+
+    def linear() -> None:
+        for t in targets:
+            table.lookup_linear(t)
+
+    per_call = len(targets)
+    return {
+        f"indexed_lookups_per_sec_n{n_routes}": _metric(
+            _time_ops(indexed) * per_call, "lookups/s"
+        ),
+        f"linear_lookups_per_sec_n{n_routes}": _metric(
+            _time_ops(linear, min_seconds=0.1) * per_call, "lookups/s"
+        ),
+    }
+
+
+def bench_recompute(quick: bool) -> Dict[str, Metric]:
+    """Full SPF reconvergence (every router's table materialised)."""
+    from repro.topology.generators import waxman_network
+
+    size = 60 if quick else 120
+    net = waxman_network(size, seed=3)
+    routing = net.routing
+
+    def full_recompute() -> None:
+        routing.recompute()
+        for router in routing.routers:
+            len(router.table)  # force deferred SPF
+
+    return {
+        f"full_recomputes_per_sec_n{size}": _metric(
+            _time_ops(full_recompute), "recomputes/s"
+        )
+    }
+
+
+def bench_scheduler(quick: bool) -> Dict[str, Metric]:
+    """Timer churn: schedule + cancel storms (keepalive-style load)."""
+    from repro.netsim.engine import Scheduler
+
+    n = 20_000 if quick else 50_000
+
+    def churn() -> None:
+        sched = Scheduler()
+        noop = lambda: None  # noqa: E731
+        timers = [sched.call_later(float(i % 97) + 1.0, noop) for i in range(n)]
+        # Cancel 75% — the compaction path — then drain the rest.
+        for i, timer in enumerate(timers):
+            if i % 4:
+                timer.cancel()
+        sched.run_until_idle()
+
+    return {
+        f"churn_timers_per_sec_n{n}": _metric(_time_ops(churn) * n, "timers/s")
+    }
+
+
+def bench_codec(quick: bool) -> Dict[str, Metric]:
+    """Wire-format encode/decode round-trips (spec §8 layouts)."""
+    from repro.core.constants import JoinSubcode, MessageType
+    from repro.core.messages import (
+        CBTControlMessage,
+        CBTDataPacket,
+        decode_control,
+        decode_data_header,
+    )
+    from repro.igmp.messages import CoreReport, decode_igmp
+
+    group = IPv4Address("239.1.2.3")
+    cores = (
+        IPv4Address("10.0.0.1"),
+        IPv4Address("10.0.1.1"),
+        IPv4Address("10.0.2.1"),
+    )
+    join = CBTControlMessage(
+        msg_type=MessageType.JOIN_REQUEST,
+        code=int(JoinSubcode.ACTIVE_JOIN),
+        group=group,
+        origin=IPv4Address("10.1.0.1"),
+        target_core=cores[0],
+        cores=cores,
+    )
+    data = CBTDataPacket(
+        group=group, core=cores[0], origin=IPv4Address("10.1.0.1"),
+        inner=b"x" * 512, ip_ttl=32,
+    )
+    report = CoreReport(group=group, cores=cores)
+
+    def roundtrips() -> None:
+        decode_control(join.encode())
+        decode_data_header(data.encode())
+        decode_igmp(report.encode())
+
+    return {
+        "codec_roundtrips_per_sec": _metric(
+            _time_ops(roundtrips) * 3, "roundtrips/s"
+        )
+    }
+
+
+def bench_scale(quick: bool) -> Dict[str, Metric]:
+    """E14 scale sweep: whole-scenario simulator throughput."""
+    from benchmarks.bench_scale import scale_run
+
+    sizes = (25, 50, 100) if quick else (25, 50, 100, 200)
+    metrics: Dict[str, Metric] = {}
+    for size in sizes:
+        t0 = time.perf_counter()
+        row = scale_run(size)
+        wall = time.perf_counter() - t0
+        events, eps = row[5], row[6]
+        metrics[f"events_per_sec_n{size}"] = _metric(eps, "events/s")
+        metrics[f"sim_events_n{size}"] = _metric(
+            events, "events", higher_is_better=False
+        )
+        metrics[f"wall_seconds_n{size}"] = _metric(
+            wall, "s", higher_is_better=False
+        )
+    return metrics
+
+
+BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
+    "route_lookup": bench_route_lookup,
+    "recompute": bench_recompute,
+    "scheduler": bench_scheduler,
+    "codec": bench_codec,
+    "scale": bench_scale,
+}
+
+
+# -- artifacts and regression checking --------------------------------------
+
+
+def artifact_path(name: str, output_dir: Optional[str] = None) -> str:
+    return os.path.join(output_dir or REPO_ROOT, f"BENCH_{name}.json")
+
+
+def load_artifact(name: str, output_dir: Optional[str] = None) -> Optional[dict]:
+    path = artifact_path(name, output_dir)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_artifact(
+    name: str,
+    metrics: Dict[str, Metric],
+    quick: bool,
+    output_dir: Optional[str] = None,
+) -> str:
+    """Write ``BENCH_<name>.json``, preserving metrics not re-measured."""
+    previous = load_artifact(name, output_dir)
+    merged = dict(previous.get("metrics", {})) if previous else {}
+    merged.update(metrics)
+    payload = {
+        "name": name,
+        "created_unix": round(time.time(), 3),
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "metrics": merged,
+    }
+    path = artifact_path(name, output_dir)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def check_regressions(
+    baseline: Optional[dict],
+    metrics: Dict[str, Metric],
+    factor: float = REGRESSION_FACTOR,
+) -> List[str]:
+    """Compare freshly measured ``metrics`` against a stored artifact.
+
+    Returns a list of human-readable regression descriptions; empty
+    means no metric is more than ``factor`` times worse than baseline.
+    Only metrics present in both are compared, so quick runs check the
+    subset they measured.
+    """
+    if not baseline:
+        return []
+    failures: List[str] = []
+    old_metrics = baseline.get("metrics", {})
+    for key, new in metrics.items():
+        old = old_metrics.get(key)
+        if not old:
+            continue
+        old_value = float(old.get("value", 0.0))
+        new_value = float(new["value"])
+        if old_value <= 0 or new_value <= 0:
+            continue
+        if new.get("higher_is_better", True):
+            if new_value * factor < old_value:
+                failures.append(
+                    f"{key}: {new_value:g} {new['unit']} vs baseline "
+                    f"{old_value:g} (>{factor:g}x slower)"
+                )
+        else:
+            if new_value > old_value * factor:
+                failures.append(
+                    f"{key}: {new_value:g} {new['unit']} vs baseline "
+                    f"{old_value:g} (>{factor:g}x worse)"
+                )
+    return failures
+
+
+def run_suite(
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    profile: bool = False,
+    check: bool = True,
+    output_dir: Optional[str] = None,
+    out=sys.stdout,
+) -> int:
+    """Run the suite; returns a process exit code (1 on regression)."""
+    selected = only or list(BENCHMARKS)
+    unknown = [name for name in selected if name not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=out)
+        print(f"available: {', '.join(BENCHMARKS)}", file=out)
+        return 2
+    all_failures: List[str] = []
+    for name in selected:
+        fn = BENCHMARKS[name]
+        start = time.perf_counter()
+        if profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            metrics = fn(quick)
+            profiler.disable()
+        else:
+            metrics = fn(quick)
+        wall = time.perf_counter() - start
+        baseline = load_artifact(name, output_dir) if check else None
+        failures = check_regressions(baseline, metrics)
+        path = write_artifact(name, metrics, quick, output_dir)
+        print(f"[{name}] ({wall:.1f}s) -> {os.path.relpath(path)}", file=out)
+        for key, metric in sorted(metrics.items()):
+            print(f"    {key:40s} {metric['value']:>14g} {metric['unit']}", file=out)
+        for failure in failures:
+            print(f"    REGRESSION {failure}", file=out)
+        all_failures.extend(failures)
+        if profile:
+            stats = pstats.Stats(profiler, stream=out).sort_stats("cumulative")
+            stats.print_stats(15)
+    if all_failures:
+        print(
+            f"\nFAIL: {len(all_failures)} metric(s) regressed more than "
+            f"{REGRESSION_FACTOR:g}x — see above.",
+            file=out,
+        )
+        return 1
+    print("\nOK: no metric regressed beyond the 3x gate.", file=out)
+    return 0

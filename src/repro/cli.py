@@ -7,7 +7,8 @@ Commands:
 * ``loop``         — replay the Figure-5 rejoin-loop episode (§6.3);
 * ``compare``      — CBT vs DVMRP state/overhead on a random topology;
 * ``topology``     — generate a topology, build a group, show the tree;
-* ``experiments``  — list the experiment index (benchmarks).
+* ``experiments``  — list the experiment index (benchmarks);
+* ``bench``        — run the perf-regression suite (``BENCH_*.json``).
 """
 
 from __future__ import annotations
@@ -214,6 +215,25 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    try:
+        from benchmarks.perf import run_suite
+    except ImportError:
+        print(
+            "the perf harness (benchmarks/perf) is not importable; run from a "
+            "repository checkout with the benchmarks/ directory on sys.path",
+            file=sys.stderr,
+        )
+        return 2
+    return run_suite(
+        quick=args.quick,
+        only=args.only,
+        profile=args.profile,
+        check=not args.no_check,
+        output_dir=args.output_dir,
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report, write_report
 
@@ -266,6 +286,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiments = sub.add_parser("experiments", help="list the experiment index")
     experiments.set_defaults(func=cmd_experiments)
+
+    bench = sub.add_parser(
+        "bench", help="run the perf-regression suite (writes BENCH_*.json)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller sizes, <60s total"
+    )
+    bench.add_argument(
+        "--only", action="append", metavar="NAME", help="run a subset (repeatable)"
+    )
+    bench.add_argument(
+        "--profile", action="store_true", help="cProfile each benchmark"
+    )
+    bench.add_argument(
+        "--no-check", action="store_true", help="skip the 3x regression gate"
+    )
+    bench.add_argument(
+        "--output-dir", help="artifact directory (default: repository root)"
+    )
+    bench.set_defaults(func=cmd_bench)
 
     report = sub.add_parser(
         "report", help="assemble benchmark artefacts into one markdown report"

@@ -4,26 +4,45 @@ The scheduler is a priority queue keyed on ``(time, sequence)`` so that
 events scheduled for the same instant fire in the order they were
 scheduled.  Determinism matters: protocol traces captured by the tests
 must be byte-for-byte reproducible across runs.
+
+Performance notes (see docs/PERFORMANCE.md):
+
+* ``_Event`` uses ``__slots__`` — churn benchmarks allocate millions —
+  and the heap holds ``(time, seq, event)`` tuples so ordering is
+  resolved by C-level tuple comparison (``seq`` is unique, so the
+  comparison never reaches the event object).
+* Cancelled events are compacted out of the heap once they exceed both
+  ``_COMPACT_MIN`` and half the queue, so long-lived simulations that
+  constantly re-arm keepalive timers don't drag a tail of dead entries
+  through every ``heappush``.  Compaction cannot change firing order:
+  entries are totally ordered by the unique ``(time, seq)`` key, so a
+  re-heapified queue pops in exactly the same sequence.
+* ``pending_events`` is a live counter, not an O(n) scan.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Compact the heap only once at least this many cancelled events have
+#: accumulated (and they make up more than half the queue).
+_COMPACT_MIN = 64
 
 
 class SchedulerError(Exception):
     """Raised on invalid scheduler operations (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
 
 
 class Timer:
@@ -33,6 +52,8 @@ class Timer:
     an already-fired or already-cancelled timer is a no-op, which keeps
     protocol code free of "is it still pending?" bookkeeping.
     """
+
+    __slots__ = ("_scheduler", "_event")
 
     def __init__(self, scheduler: "Scheduler", event: _Event) -> None:
         self._scheduler = scheduler
@@ -46,11 +67,11 @@ class Timer:
     @property
     def pending(self) -> bool:
         """True while the timer has neither fired nor been cancelled."""
-        return not self._event.cancelled and self._event.time >= self._scheduler.now
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
         """Cancel the timer; safe to call at any time."""
-        self._event.cancelled = True
+        self._scheduler._cancel(self._event)
 
     def restart(self, delay: float) -> "Timer":
         """Cancel this timer and schedule its callback again after ``delay``."""
@@ -69,10 +90,12 @@ class Scheduler:
     """
 
     def __init__(self) -> None:
-        self._queue: List[_Event] = []
+        self._queue: List[Tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        self._pending = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -87,7 +110,7 @@ class Scheduler:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._pending
 
     def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -101,9 +124,25 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at t={time}; current time is t={self._now}"
             )
-        event = _Event(time=time, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._queue, event)
+        event = _Event(time, callback)
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+        self._pending += 1
         return Timer(self, event)
+
+    def _cancel(self, event: _Event) -> None:
+        """Mark an event cancelled and compact the heap when it's mostly dead."""
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= _COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._queue)
+        ):
+            self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_heap = 0
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Run events in time order.
@@ -114,15 +153,20 @@ class Scheduler:
         simulation time.
         """
         processed = 0
-        while self._queue:
-            event = self._queue[0]
+        heappop = heapq.heappop
+        queue = self._queue
+        while queue:
+            time, _seq, event = queue[0]
             if event.cancelled:
-                heapq.heappop(self._queue)
+                heappop(queue)
+                self._cancelled_in_heap -= 1
                 continue
-            if until is not None and event.time > until:
+            if until is not None and time > until:
                 break
-            heapq.heappop(self._queue)
-            self._now = event.time
+            heappop(queue)
+            event.fired = True
+            self._pending -= 1
+            self._now = time
             event.callback()
             self._events_processed += 1
             processed += 1
@@ -130,6 +174,7 @@ class Scheduler:
                 raise SchedulerError(
                     f"exceeded max_events={max_events}; likely a protocol loop"
                 )
+            queue = self._queue  # compaction may have replaced the list
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -140,11 +185,12 @@ class Scheduler:
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_heap -= 1
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
 
 class PeriodicTimer:

@@ -68,6 +68,18 @@ class Link:
         self.tx_count = 0
         self.tx_bytes = 0
         self.queued_time = 0.0
+        #: Callbacks fired when this link's topology-relevant state
+        #: changes (attachment, up/down, interface flips).  Link-state
+        #: routing registers here to invalidate its caches.
+        self._topology_observers: List[Callable[[], None]] = []
+
+    def add_topology_observer(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to run on any topology-relevant change."""
+        self._topology_observers.append(callback)
+
+    def notify_topology_changed(self) -> None:
+        for callback in self._topology_observers:
+            callback()
 
     def __repr__(self) -> str:
         members = ",".join(i.node.name for i in self.interfaces)
@@ -87,13 +99,16 @@ class Link:
         self.interfaces.append(interface)
         self._by_address[interface.address] = interface
         interface.attach(self)
+        self.notify_topology_changed()
 
     def interface_by_address(self, address: IPv4Address) -> Optional[Interface]:
         return self._by_address.get(address)
 
     def set_up(self, up: bool) -> None:
         """Administratively raise or fail the link."""
-        self.up = up
+        if up != self.up:
+            self.up = up
+            self.notify_topology_changed()
 
     # -- transmission ---------------------------------------------------
 
@@ -130,11 +145,11 @@ class Link:
             self.queued_time += start - now
             extra_delay = (start - now) + serialisation
         if datagram.is_multicast or (link_dst is None and datagram.dst not in self.network):
-            receivers = [i for i in self.interfaces if i is not sender and i.up]
+            receivers = [i for i in self.interfaces if i is not sender and i._up]
         else:
             target = link_dst if link_dst is not None else datagram.dst
             receiver = self._by_address.get(target)
-            receivers = [receiver] if receiver is not None and receiver.up else []
+            receivers = [receiver] if receiver is not None and receiver._up else []
             if not receivers:
                 self._record("drop", sender, datagram, note=f"no host {target}")
                 return
@@ -144,7 +159,7 @@ class Link:
             )
 
     def deliver(self, receiver: Interface, datagram: IPDatagram) -> None:
-        if not self.up or not receiver.up:
+        if not self.up or not receiver._up:
             self._record("drop", receiver, datagram, note="down at delivery")
             return
         self.trace.record(

@@ -42,13 +42,27 @@ class Interface:
         self.network = network
         self.mode = mode
         self.link: Optional["Link"] = None
-        self.up = True
+        self._up = True
 
     def __repr__(self) -> str:
         return (
             f"Interface({self.node.name}#{self.vif} {self.address}/"
             f"{self.network.prefixlen} {self.mode})"
         )
+
+    @property
+    def up(self) -> bool:
+        """Administrative state; flipping it notifies the attached link
+        so topology-derived caches (link-state adjacency) invalidate."""
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        if value == self._up:
+            return
+        self._up = value
+        if self.link is not None:
+            self.link.notify_topology_changed()
 
     def attach(self, link: "Link") -> None:
         """Called by the link when the interface is connected to it."""
@@ -73,6 +87,6 @@ class Interface:
         """
         if self.link is None:
             raise RuntimeError(f"{self!r} is not attached to a link")
-        if not self.up:
+        if not self._up:
             return
         self.link.transmit(self, datagram, link_dst=link_dst)

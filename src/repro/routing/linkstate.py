@@ -9,6 +9,15 @@ CBT spec makes.
 Asymmetry injection: per-(router, link) cost overrides let tests create
 paths where A routes to B one way and B routes back another — the
 transient-asymmetry situation §2.6 of the spec argues CBT tolerates.
+
+Caching (see docs/PERFORMANCE.md): adjacency, the name/address router
+maps, and per-router interface-by-link maps are built once and reused
+by ``recompute``/``path``/``distance``.  Invalidation is explicit and
+event-driven: ``add_router``/``add_link`` invalidate directly, and
+every known link carries a topology observer that invalidates on
+up/down flips, interface flips, and new attachments, so the caches can
+never serve a stale topology.  Cost overrides invalidate only the
+distance cache (adjacency is cost-independent).
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from ipaddress import IPv4Address
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.netsim.link import Link
+from repro.netsim.nic import Interface
 from repro.routing.table import Route, Router
 
 
@@ -30,35 +40,175 @@ class LinkStateRouting:
         # (router name, link name) -> cost override
         self._cost_overrides: Dict[Tuple[str, str], float] = {}
         self.recompute_count = 0
+        # -- caches (None/empty = needs rebuild) --------------------------
+        self._adjacency: Optional[Dict[str, List[Tuple[str, Link]]]] = None
+        # adjacency with per-edge costs (overrides applied) baked in:
+        # router name -> [(neighbour name, cost, link)]
+        self._adjacency_costed: Optional[
+            Dict[str, List[Tuple[str, float, Link]]]
+        ] = None
+        self._routers_by_name: Optional[Dict[str, Router]] = None
+        self._routers_by_address: Optional[Dict[IPv4Address, Router]] = None
+        # router name -> {id(link) -> interface on that link}
+        self._iface_by_link: Optional[Dict[str, Dict[int, Interface]]] = None
+        # [(id(link), link, (int(net addr), prefixlen), [(router name, iface)])]
+        self._link_seq: Optional[
+            List[Tuple[int, Link, Tuple[int, int], List[Tuple[str, Interface]]]]
+        ] = None
+        # source router name -> full Dijkstra distance map
+        self._dist_cache: Dict[str, Dict[str, float]] = {}
+        for link in self.links:
+            link.add_topology_observer(self.invalidate_topology)
 
     # -- configuration -----------------------------------------------------
 
     def add_router(self, router: Router) -> None:
         self.routers.append(router)
+        self.invalidate_topology()
 
     def add_link(self, link: Link) -> None:
         self.links.append(link)
+        link.add_topology_observer(self.invalidate_topology)
+        self.invalidate_topology()
 
     def override_cost(self, router: Router, link: Link, cost: float) -> None:
         """Make ``router`` see ``link`` at ``cost`` (asymmetry injection)."""
         if cost <= 0:
             raise ValueError(f"cost must be positive, got {cost}")
         self._cost_overrides[(router.name, link.name)] = cost
+        self._adjacency_costed = None
+        self._dist_cache.clear()
 
     def clear_overrides(self) -> None:
         self._cost_overrides.clear()
+        self._adjacency_costed = None
+        self._dist_cache.clear()
+
+    def invalidate_topology(self) -> None:
+        """Drop every topology-derived cache.
+
+        Called automatically from ``add_router``/``add_link`` and from
+        link observers on up/down and attachment changes; safe (and
+        cheap) to call manually after out-of-band topology surgery.
+        """
+        self._adjacency = None
+        self._adjacency_costed = None
+        self._routers_by_name = None
+        self._routers_by_address = None
+        self._iface_by_link = None
+        self._link_seq = None
+        if self._dist_cache:
+            self._dist_cache.clear()
 
     def _link_cost(self, router: Router, link: Link) -> float:
         return self._cost_overrides.get((router.name, link.name), link.cost)
 
+    # -- cached views --------------------------------------------------------
+
+    def routers_by_name(self) -> Dict[str, Router]:
+        cached = self._routers_by_name
+        if cached is None:
+            cached = self._routers_by_name = {
+                router.name: router for router in self.routers
+            }
+        return cached
+
+    def routers_by_address(self) -> Dict[IPv4Address, Router]:
+        cached = self._routers_by_address
+        if cached is None:
+            cached = self._routers_by_address = {
+                interface.address: router
+                for router in self.routers
+                for interface in router.interfaces
+            }
+        return cached
+
+    def adjacency(self) -> Dict[str, List[Tuple[str, Link]]]:
+        cached = self._adjacency
+        if cached is None:
+            cached = self._adjacency = self._build_adjacency()
+        return cached
+
+    def _costed_adjacency(self) -> Dict[str, List[Tuple[str, float, Link]]]:
+        """Adjacency with per-edge costs (overrides applied) baked in."""
+        cached = self._adjacency_costed
+        if cached is None:
+            overrides = self._cost_overrides
+            cached = self._adjacency_costed = {
+                name: [
+                    (
+                        neighbour,
+                        overrides.get((name, link.name), link.cost)
+                        if overrides
+                        else link.cost,
+                        link,
+                    )
+                    for neighbour, link in edges
+                ]
+                for name, edges in self.adjacency().items()
+            }
+        return cached
+
+    def _iface_maps(
+        self,
+    ) -> Tuple[
+        Dict[str, Dict[int, Interface]],
+        List[Tuple[int, Link, Tuple[int, int], List[Tuple[str, Interface]]]],
+    ]:
+        """Per-router {link -> interface} map and the link scan sequence."""
+        if self._iface_by_link is None or self._link_seq is None:
+            by_link: Dict[str, Dict[int, Interface]] = {}
+            router_names = set(self.routers_by_name())
+            for router in self.routers:
+                by_link[router.name] = {
+                    id(interface.link): interface
+                    for interface in router.interfaces
+                    if interface.link is not None
+                }
+            link_seq: List[
+                Tuple[int, Link, Tuple[int, int], List[Tuple[str, Interface]]]
+            ] = []
+            for link in self.links:
+                network = link.network
+                link_seq.append(
+                    (
+                        id(link),
+                        link,
+                        (int(network.network_address), network.prefixlen),
+                        [
+                            (interface.node.name, interface)
+                            for interface in link.interfaces
+                            if interface.node.name in router_names
+                        ],
+                    )
+                )
+            self._iface_by_link = by_link
+            self._link_seq = link_seq
+        return self._iface_by_link, self._link_seq
+
     # -- computation ---------------------------------------------------------
 
     def recompute(self) -> None:
-        """Rebuild every router's routing table from current link state."""
+        """Rebuild every router's routing table from current link state.
+
+        Per-router SPF is deferred: each table gets a provider closing
+        over a snapshot of the costed adjacency and interface maps, and
+        runs Dijkstra + route installation on first access.  Routers
+        whose tables are never consulted before the next reconvergence
+        pay nothing, and the snapshot keeps the eager semantics — link
+        flips after this call don't leak into the deferred results
+        until ``recompute`` runs again.
+        """
         self.recompute_count += 1
-        adjacency = self._build_adjacency()
+        adjacency = self._costed_adjacency()
+        iface_by_link, link_seq = self._iface_maps()
+        compute = self._compute_for
         for router in self.routers:
-            self._compute_for(router, adjacency)
+            router.table.set_provider(
+                lambda r=router, a=adjacency, ibl=iface_by_link, ls=link_seq: compute(
+                    r, a, ibl, ls
+                )
+            )
 
     def _build_adjacency(self) -> Dict[str, List[Tuple[str, Link]]]:
         """router name -> [(neighbour router name, connecting link)]."""
@@ -80,70 +230,107 @@ class LinkStateRouting:
                         adjacency[a.node.name].append((b.node.name, link))
         return adjacency
 
-    def _compute_for(
-        self, source: Router, adjacency: Dict[str, List[Tuple[str, Link]]]
-    ) -> None:
-        # Dijkstra over router names, cost applied on the egress link.
+    def _dijkstra(
+        self,
+        source: Router,
+        adjacency: Dict[str, List[Tuple[str, float, Link]]],
+        track_first_hop: bool = False,
+    ) -> Tuple[Dict[str, float], Dict[str, Tuple[Link, str]]]:
+        """Full shortest-path scan from ``source`` over costed adjacency.
+
+        Returns ``(dist, first_hop)``; ``first_hop`` maps each
+        destination to ``(egress link, neighbour name)`` and is only
+        populated when ``track_first_hop`` is set.
+        """
         dist: Dict[str, float] = {source.name: 0.0}
-        first_hop: Dict[str, Tuple[Link, str]] = {}  # dest -> (egress link, nbr name)
+        first_hop: Dict[str, Tuple[Link, str]] = {}
         visited: set = set()
         heap: List[Tuple[float, str]] = [(0.0, source.name)]
-        routers_by_name = {router.name: router for router in self.routers}
+        source_name = source.name
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        dist_get = dist.get
+        inf = float("inf")
 
         while heap:
-            d, name = heapq.heappop(heap)
+            d, name = heappop(heap)
             if name in visited:
                 continue
             visited.add(name)
-            for neighbour, link in adjacency.get(name, ()):
-                cost = self._link_cost(routers_by_name[name], link)
+            for neighbour, cost, link in adjacency.get(name, ()):
                 nd = d + cost
-                if nd < dist.get(neighbour, float("inf")):
+                if nd < dist_get(neighbour, inf):
                     dist[neighbour] = nd
-                    if name == source.name:
-                        first_hop[neighbour] = (link, neighbour)
-                    else:
-                        first_hop[neighbour] = first_hop[name]
-                    heapq.heappush(heap, (nd, neighbour))
+                    if track_first_hop:
+                        if name == source_name:
+                            first_hop[neighbour] = (link, neighbour)
+                        else:
+                            first_hop[neighbour] = first_hop[name]
+                    heappush(heap, (nd, neighbour))
+        return dist, first_hop
 
-        self._install_routes(source, dist, first_hop, routers_by_name)
+    def _compute_for(
+        self,
+        source: Router,
+        adjacency: Dict[str, List[Tuple[str, float, Link]]],
+        iface_by_link: Dict[str, Dict[int, Interface]],
+        link_seq: List[Tuple[int, Link, Tuple[int, int], List[Tuple[str, Interface]]]],
+    ) -> None:
+        dist, first_hop = self._dijkstra(source, adjacency, track_first_hop=True)
+        self._install_routes(source, dist, first_hop, iface_by_link, link_seq)
 
     def _install_routes(
         self,
         source: Router,
         dist: Dict[str, float],
         first_hop: Dict[str, Tuple[Link, str]],
-        routers_by_name: Dict[str, Router],
+        iface_by_link: Dict[str, Dict[int, Interface]],
+        link_seq: List[Tuple[int, Link, Tuple[int, int], List[Tuple[str, Interface]]]],
     ) -> None:
-        source.table.clear()
-        own_networks = {interface.network for interface in source.interfaces}
-        for link in self.links:
-            if link.network in own_networks:
+        source_name = source.name
+        source_ifaces = iface_by_link[source_name]
+        own_links = set(source_ifaces)
+        dist_get = dist.get
+        # Destination router -> (egress interface, next-hop address):
+        # resolved once per reachable router instead of once per route.
+        hop_info: Dict[str, Tuple[Interface, IPv4Address]] = {}
+        for dest, (egress_link, nbr_name) in first_hop.items():
+            link_id = id(egress_link)
+            hop_info[dest] = (
+                source_ifaces[link_id],
+                iface_by_link[nbr_name][link_id].address,
+            )
+        entries: List[Tuple[int, int, Route]] = []
+        append = entries.append
+        for link_id, link, prefix_key, attached_routers in link_seq:
+            if link_id in own_links:
                 continue  # directly connected; handled by interface_toward()
-            best: Optional[Route] = None
-            for interface in link.interfaces:
-                attached = interface.node.name
-                if attached not in dist or attached == source.name:
+            best_metric: Optional[float] = None
+            best_attached: Optional[str] = None
+            for attached, _iface in attached_routers:
+                metric = dist_get(attached)
+                if metric is None or attached == source_name:
                     continue
-                metric = dist[attached]
-                if best is not None and metric >= best.metric:
+                if best_metric is not None and metric >= best_metric:
                     continue
-                egress_link, nbr_name = first_hop[attached]
-                egress_iface = next(
-                    i for i in source.interfaces if i.link is egress_link
+                best_metric = metric
+                best_attached = attached
+            if best_attached is None:
+                continue
+            egress_iface, next_hop = hop_info[best_attached]
+            append(
+                (
+                    prefix_key[0],
+                    prefix_key[1],
+                    Route(
+                        prefix=link.network,
+                        interface=egress_iface,
+                        next_hop=next_hop,
+                        metric=best_metric,
+                    ),
                 )
-                nbr_router = routers_by_name[nbr_name]
-                nbr_iface = next(
-                    i for i in nbr_router.interfaces if i.link is egress_link
-                )
-                best = Route(
-                    prefix=link.network,
-                    interface=egress_iface,
-                    next_hop=nbr_iface.address,
-                    metric=metric,
-                )
-            if best is not None:
-                source.table.install(best)
+            )
+        source.table.replace_all(entries)
 
     # -- analysis helpers ----------------------------------------------------
 
@@ -153,10 +340,7 @@ class LinkStateRouting:
         Used by placement heuristics and tests; follows installed
         routes, so it reflects overrides and failures after recompute.
         """
-        routers_by_address: Dict[IPv4Address, Router] = {}
-        for router in self.routers:
-            for interface in router.interfaces:
-                routers_by_address[interface.address] = router
+        routers_by_address = self.routers_by_address()
         path = [src]
         current = src
         for _ in range(max_hops):
@@ -175,22 +359,17 @@ class LinkStateRouting:
         return path
 
     def distance(self, src: Router, dst: Router) -> float:
-        """Unicast metric distance between two routers (inf if cut off)."""
-        adjacency = self._build_adjacency()
-        dist: Dict[str, float] = {src.name: 0.0}
-        routers_by_name = {router.name: router for router in self.routers}
-        heap: List[Tuple[float, str]] = [(0.0, src.name)]
-        visited: set = set()
-        while heap:
-            d, name = heapq.heappop(heap)
-            if name in visited:
-                continue
-            if name == dst.name:
-                return d
-            visited.add(name)
-            for neighbour, link in adjacency.get(name, ()):
-                nd = d + self._link_cost(routers_by_name[name], link)
-                if nd < dist.get(neighbour, float("inf")):
-                    dist[neighbour] = nd
-                    heapq.heappush(heap, (nd, neighbour))
-        return float("inf")
+        """Unicast metric distance between two routers (inf if cut off).
+
+        The self-distance is 0 by definition.  Results reflect the
+        *current* adjacency and cost overrides (no ``recompute`` needed)
+        and are memoized per source until the topology or an override
+        changes.
+        """
+        if src is dst or src.name == dst.name:
+            return 0.0
+        dist = self._dist_cache.get(src.name)
+        if dist is None:
+            dist, _ = self._dijkstra(src, self._costed_adjacency())
+            self._dist_cache[src.name] = dist
+        return dist.get(dst.name, float("inf"))

@@ -10,9 +10,18 @@ the capability set the spec assumes of end systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from ipaddress import IPv4Address, IPv4Network
-from typing import Dict, List, Optional
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+)
 
 from repro.netsim.address import is_link_local_multicast
 from repro.netsim.engine import Scheduler
@@ -21,47 +30,199 @@ from repro.netsim.node import Node
 from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IGMP
 
 
-@dataclass(frozen=True)
 class Route:
     """One routing table entry.
 
     ``next_hop`` is None for directly connected prefixes.  ``metric``
     is the total path cost, used by tests asserting on path choice.
+
+    Plain ``__slots__`` class rather than a dataclass: SPF installs one
+    per (router, link) pair, so construction is a measured hot path.
     """
 
-    prefix: IPv4Network
-    interface: Interface
-    next_hop: Optional[IPv4Address]
-    metric: float
+    __slots__ = ("prefix", "interface", "next_hop", "metric")
+
+    def __init__(
+        self,
+        prefix: IPv4Network,
+        interface: Interface,
+        next_hop: Optional[IPv4Address],
+        metric: float,
+    ) -> None:
+        self.prefix = prefix
+        self.interface = interface
+        self.next_hop = next_hop
+        self.metric = metric
+
+    def __repr__(self) -> str:
+        return (
+            f"Route(prefix={self.prefix!r}, interface={self.interface!r}, "
+            f"next_hop={self.next_hop!r}, metric={self.metric!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Route):
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.interface == other.interface
+            and self.next_hop == other.next_hop
+            and self.metric == other.metric
+        )
 
     @property
     def is_direct(self) -> bool:
         return self.next_hop is None
 
 
+#: Netmask (as an int) for every prefix length; index by prefixlen.
+_MASKS = tuple((0xFFFFFFFF << (32 - p)) & 0xFFFFFFFF if p else 0 for p in range(33))
+
+#: Bound on the per-destination memo cache; cleared wholesale when hit
+#: so a scan over a huge address space cannot grow memory unboundedly.
+_LOOKUP_CACHE_MAX = 1 << 16
+
+_MISS = object()
+
+
 class RoutingTable:
-    """Longest-prefix-match table (prefixes in the simulator are disjoint)."""
+    """Longest-prefix-match table (prefixes in the simulator are disjoint).
+
+    Lookups are served from a prefix-length index — per query, one dict
+    probe per *distinct* prefix length present (longest first) instead
+    of a scan over every route — fronted by a per-destination memo
+    cache.  Both structures are maintained by ``install``/``remove``/
+    ``clear``; any mutation invalidates the memo cache.
+    """
+
+    __slots__ = ("_routes", "_by_prefixlen", "_prefixlens", "_lookup_cache", "_provider")
 
     def __init__(self) -> None:
-        self._routes: Dict[IPv4Network, Route] = {}
+        # (int(network address), prefixlen) -> Route; int keys hash far
+        # faster than IPv4Network and SPF installs hundreds of thousands.
+        self._routes: Dict[Tuple[int, int], Route] = {}
+        # prefixlen -> {int(network address) -> Route}
+        self._by_prefixlen: Dict[int, Dict[int, Route]] = {}
+        self._prefixlens: List[int] = []  # sorted descending (longest first)
+        self._lookup_cache: Dict[int, Optional[Route]] = {}
+        # Deferred (re)population hook; see set_provider().
+        self._provider: Optional[Callable[[], None]] = None
+
+    def set_provider(self, provider: Callable[[], None]) -> None:
+        """Defer population: drop current contents and run ``provider``
+        on first access instead.
+
+        SPF recomputation uses this so routers whose tables are never
+        consulted between reconvergences pay nothing.  The provider
+        must capture a snapshot of whatever state it needs — it runs at
+        first access, which may be after further topology changes.
+        """
+        self._provider = provider
+        self._routes = {}
+        self._by_prefixlen = {}
+        self._prefixlens = []
+        self._lookup_cache = {}
+
+    def _materialise(self) -> None:
+        provider = self._provider
+        if provider is not None:
+            self._provider = None
+            provider()
 
     def __len__(self) -> int:
+        self._materialise()
         return len(self._routes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Route]:
+        self._materialise()
         return iter(self._routes.values())
 
     def install(self, route: Route) -> None:
-        self._routes[route.prefix] = route
+        self._materialise()
+        prefix = route.prefix
+        self._install_key(int(prefix.network_address), prefix.prefixlen, route)
+
+    def _install_key(self, net_int: int, plen: int, route: Route) -> None:
+        """Install with the prefix key precomputed (SPF fast path)."""
+        self._routes[(net_int, plen)] = route
+        bucket = self._by_prefixlen.get(plen)
+        if bucket is None:
+            bucket = self._by_prefixlen[plen] = {}
+            self._prefixlens = sorted(self._by_prefixlen, reverse=True)
+        bucket[net_int] = route
+        if self._lookup_cache:
+            self._lookup_cache = {}
+
+    def replace_all(self, items: Iterable[Tuple[int, int, Route]]) -> None:
+        """Atomically replace the whole table (SPF bulk path).
+
+        ``items`` yields ``(int(network address), prefixlen, route)``
+        triples; equivalent to ``clear()`` followed by ``install`` per
+        route, without per-route bookkeeping overhead.
+        """
+        self._provider = None
+        routes: Dict[Tuple[int, int], Route] = {}
+        by_plen: Dict[int, Dict[int, Route]] = {}
+        for net_int, plen, route in items:
+            routes[(net_int, plen)] = route
+            bucket = by_plen.get(plen)
+            if bucket is None:
+                bucket = by_plen[plen] = {}
+            bucket[net_int] = route
+        self._routes = routes
+        self._by_prefixlen = by_plen
+        self._prefixlens = sorted(by_plen, reverse=True)
+        self._lookup_cache = {}
 
     def remove(self, prefix: IPv4Network) -> None:
-        self._routes.pop(prefix, None)
+        self._materialise()
+        net_int, plen = int(prefix.network_address), prefix.prefixlen
+        if self._routes.pop((net_int, plen), None) is None:
+            return
+        bucket = self._by_prefixlen[plen]
+        bucket.pop(net_int, None)
+        if not bucket:
+            del self._by_prefixlen[plen]
+            self._prefixlens = sorted(self._by_prefixlen, reverse=True)
+        if self._lookup_cache:
+            self._lookup_cache = {}
 
     def clear(self) -> None:
+        # A pending provider is simply dropped: the eager-equivalent
+        # sequence (populate, then clear) also ends with an empty table.
+        self._provider = None
         self._routes.clear()
+        self._by_prefixlen.clear()
+        self._prefixlens = []
+        if self._lookup_cache:
+            self._lookup_cache = {}
 
     def lookup(self, destination: IPv4Address) -> Optional[Route]:
         """Best route for ``destination`` (longest prefix wins)."""
+        dest_int = int(destination)
+        cached = self._lookup_cache.get(dest_int, _MISS)
+        if cached is not _MISS:
+            return cached  # type: ignore[return-value]
+        if self._provider is not None:
+            self._materialise()
+        best: Optional[Route] = None
+        for plen in self._prefixlens:
+            route = self._by_prefixlen[plen].get(dest_int & _MASKS[plen])
+            if route is not None:
+                best = route
+                break
+        if len(self._lookup_cache) >= _LOOKUP_CACHE_MAX:
+            self._lookup_cache = {}
+        self._lookup_cache[dest_int] = best
+        return best
+
+    def lookup_linear(self, destination: IPv4Address) -> Optional[Route]:
+        """Reference implementation: naive O(#routes) scan.
+
+        Kept for property tests asserting the indexed/memoized
+        :meth:`lookup` agrees with it on arbitrary tables.
+        """
+        self._materialise()
         best: Optional[Route] = None
         for route in self._routes.values():
             if destination in route.prefix:
@@ -70,6 +231,7 @@ class RoutingTable:
         return best
 
     def routes(self) -> List[Route]:
+        self._materialise()
         return list(self._routes.values())
 
 
@@ -124,7 +286,7 @@ class Host(RoutedNode):
     def __init__(self, name: str, scheduler: Scheduler) -> None:
         super().__init__(name, scheduler)
         self.default_gateway: Optional[IPv4Address] = None
-        self.joined_groups: set = set()
+        self.joined_groups: Set[IPv4Address] = set()
         self.delivered: List[IPDatagram] = []
 
     @property
@@ -157,6 +319,14 @@ class Host(RoutedNode):
         # Hosts never forward.
 
 
+class MulticastForwarder(Protocol):
+    """Data-plane hook a multicast routing protocol attaches to a router."""
+
+    def forward_multicast(
+        self, router: "Router", interface: Interface, datagram: IPDatagram
+    ) -> None: ...
+
+
 class Router(RoutedNode):
     """Unicast forwarder; multicast handling is delegated to protocols.
 
@@ -167,11 +337,14 @@ class Router(RoutedNode):
 
     def __init__(self, name: str, scheduler: Scheduler) -> None:
         super().__init__(name, scheduler)
-        self.multicast_forwarder = None  # set by the multicast protocol
+        # Set by the multicast protocol, if any.
+        self.multicast_forwarder: Optional[MulticastForwarder] = None
         #: Optional hook called on transit unicast datagrams; returning
         #: True consumes the packet (CBT uses this to intercept
         #: non-member-sender encapsulations at the first on-tree router).
-        self.unicast_interceptor = None
+        self.unicast_interceptor: Optional[
+            Callable[["Router", Interface, IPDatagram], bool]
+        ] = None
         self.forwarded_count = 0
 
     def receive(self, interface: Interface, datagram: IPDatagram) -> None:

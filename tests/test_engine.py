@@ -133,6 +133,32 @@ class TestTimer:
         sched.run_until_idle()
         assert fired == [5.0]
 
+    def test_pending_false_after_firing(self):
+        sched = Scheduler()
+        timer = sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        assert not timer.pending
+
+    def test_pending_false_when_fires_at_equals_now(self):
+        # A fired timer whose fires_at coincides with the current clock
+        # must not report pending (the old check compared times only).
+        sched = Scheduler()
+        fired_state = []
+        timer = sched.call_later(1.0, lambda: None)
+        sched.call_later(1.0, lambda: fired_state.append(timer.pending))
+        sched.run(until=1.0)
+        assert sched.now == 1.0
+        assert timer.fires_at == sched.now
+        assert fired_state == [False]
+        assert not timer.pending
+
+    def test_pending_true_while_scheduled_at_future_time(self):
+        sched = Scheduler()
+        timer = sched.call_later(2.0, lambda: None)
+        sched.call_later(1.0, lambda: None)
+        sched.run(until=1.0)
+        assert timer.pending
+
 
 class TestPeriodicTimer:
     def test_ticks_at_interval(self):
@@ -172,6 +198,63 @@ class TestPeriodicTimer:
         sched.call_later(1.5, lambda: ticker.reschedule(3.0))
         sched.run(until=8.0)
         assert ticks == [1.0, 2.0, 5.0, 8.0]
+
+
+class TestSchedulerInternals:
+    def test_pending_events_counter_is_live(self):
+        sched = Scheduler()
+        timers = [sched.call_later(float(i + 1), lambda: None) for i in range(6)]
+        assert sched.pending_events == 6
+        timers[0].cancel()
+        timers[3].cancel()
+        assert sched.pending_events == 4
+        sched.run(until=2.0)
+        assert sched.pending_events == 3
+        sched.run_until_idle()
+        assert sched.pending_events == 0
+
+    def test_double_cancel_does_not_skew_counter(self):
+        sched = Scheduler()
+        timer = sched.call_later(1.0, lambda: None)
+        sched.call_later(2.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sched.pending_events == 1
+
+    def test_mass_cancel_compaction_preserves_order(self):
+        # Cancel enough timers to trigger heap compaction, then check
+        # survivors still fire in exact (time, FIFO) order.
+        sched = Scheduler()
+        fired = []
+        timers = []
+        for i in range(500):
+            delay = float(i % 50) + 1.0
+            timers.append(
+                sched.call_later(delay, (lambda k: (lambda: fired.append(k)))(i))
+            )
+        survivors = [i for i in range(500) if i % 5 == 0]
+        for i, timer in enumerate(timers):
+            if i % 5:
+                timer.cancel()
+        assert sched.pending_events == len(survivors)
+        sched.run_until_idle()
+        expected = sorted(survivors, key=lambda i: (float(i % 50) + 1.0, i))
+        assert fired == expected
+
+    def test_cancel_during_run_with_compaction(self):
+        sched = Scheduler()
+        fired = []
+        later = [sched.call_later(10.0 + i * 0.01, lambda: fired.append("late"))
+                 for i in range(200)]
+
+        def cancel_most():
+            for timer in later[1:]:
+                timer.cancel()
+
+        sched.call_later(1.0, cancel_most)
+        sched.run_until_idle()
+        assert fired == ["late"]
+        assert sched.pending_events == 0
 
 
 def test_run_phases_schedules_and_runs():

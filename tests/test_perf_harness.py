@@ -1,0 +1,143 @@
+"""Tests for the perf-regression harness (benchmarks/perf)."""
+
+import io
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from benchmarks.perf import suite  # noqa: E402
+from benchmarks.perf.suite import (  # noqa: E402
+    REGRESSION_FACTOR,
+    check_regressions,
+    load_artifact,
+    run_suite,
+    write_artifact,
+)
+
+
+def metric(value, unit="ops/s", higher_is_better=True):
+    return {"value": value, "unit": unit, "higher_is_better": higher_is_better}
+
+
+class TestArtifacts:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = write_artifact(
+            "demo", {"m": metric(100.0)}, quick=False, output_dir=str(tmp_path)
+        )
+        assert os.path.basename(path) == "BENCH_demo.json"
+        loaded = load_artifact("demo", output_dir=str(tmp_path))
+        assert loaded["name"] == "demo"
+        assert loaded["quick"] is False
+        assert loaded["metrics"]["m"]["value"] == 100.0
+
+    def test_quick_run_preserves_unmeasured_metrics(self, tmp_path):
+        # A full run records the n200 baseline; a later quick run that
+        # only measures n100 must not erase it.
+        write_artifact(
+            "demo",
+            {"eps_n100": metric(50.0), "eps_n200": metric(30.0)},
+            quick=False,
+            output_dir=str(tmp_path),
+        )
+        write_artifact(
+            "demo", {"eps_n100": metric(55.0)}, quick=True, output_dir=str(tmp_path)
+        )
+        loaded = load_artifact("demo", output_dir=str(tmp_path))
+        assert loaded["metrics"]["eps_n100"]["value"] == 55.0
+        assert loaded["metrics"]["eps_n200"]["value"] == 30.0
+        assert loaded["quick"] is True
+
+    def test_corrupt_artifact_treated_as_missing(self, tmp_path):
+        (tmp_path / "BENCH_demo.json").write_text("{not json")
+        assert load_artifact("demo", output_dir=str(tmp_path)) is None
+
+
+class TestCheckRegressions:
+    def test_no_baseline_passes(self):
+        assert check_regressions(None, {"m": metric(1.0)}) == []
+
+    def test_within_factor_passes(self):
+        baseline = {"metrics": {"m": metric(100.0)}}
+        # 2.5x slower is inside the 3x gate.
+        assert check_regressions(baseline, {"m": metric(40.0)}) == []
+
+    def test_higher_is_better_regression_detected(self):
+        baseline = {"metrics": {"m": metric(100.0)}}
+        failures = check_regressions(baseline, {"m": metric(25.0)})
+        assert len(failures) == 1 and "m" in failures[0]
+
+    def test_lower_is_better_direction(self):
+        baseline = {"metrics": {"wall": metric(1.0, "s", higher_is_better=False)}}
+        # Getting faster (lower) never trips the gate ...
+        assert check_regressions(
+            baseline, {"wall": metric(0.1, "s", higher_is_better=False)}
+        ) == []
+        # ... getting 4x slower (higher) does.
+        failures = check_regressions(
+            baseline, {"wall": metric(4.0, "s", higher_is_better=False)}
+        )
+        assert len(failures) == 1
+
+    def test_only_shared_metrics_compared(self):
+        baseline = {"metrics": {"old_only": metric(100.0)}}
+        assert check_regressions(baseline, {"new_only": metric(1.0)}) == []
+
+    def test_factor_is_wide(self):
+        assert REGRESSION_FACTOR == pytest.approx(3.0)
+
+
+class TestRunSuite:
+    @pytest.fixture
+    def fake_bench(self, monkeypatch):
+        calls = []
+
+        def bench(quick):
+            calls.append(quick)
+            return {"fake_ops_per_sec": metric(1000.0)}
+
+        monkeypatch.setitem(suite.BENCHMARKS, "fake", bench)
+        return calls
+
+    def test_runs_and_writes_artifact(self, tmp_path, fake_bench):
+        out = io.StringIO()
+        code = run_suite(
+            quick=True, only=["fake"], output_dir=str(tmp_path), out=out
+        )
+        assert code == 0
+        assert fake_bench == [True]
+        payload = json.loads((tmp_path / "BENCH_fake.json").read_text())
+        assert payload["metrics"]["fake_ops_per_sec"]["value"] == 1000.0
+        assert "OK" in out.getvalue()
+
+    def test_regression_fails_loudly(self, tmp_path, fake_bench):
+        write_artifact(
+            "fake", {"fake_ops_per_sec": metric(1e9)}, quick=False,
+            output_dir=str(tmp_path),
+        )
+        out = io.StringIO()
+        code = run_suite(
+            quick=True, only=["fake"], output_dir=str(tmp_path), out=out
+        )
+        assert code == 1
+        assert "REGRESSION" in out.getvalue()
+
+    def test_no_check_ignores_baseline(self, tmp_path, fake_bench):
+        write_artifact(
+            "fake", {"fake_ops_per_sec": metric(1e9)}, quick=False,
+            output_dir=str(tmp_path),
+        )
+        code = run_suite(
+            quick=True, only=["fake"], check=False,
+            output_dir=str(tmp_path), out=io.StringIO(),
+        )
+        assert code == 0
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        out = io.StringIO()
+        code = run_suite(only=["nope"], output_dir=str(tmp_path), out=out)
+        assert code == 2
+        assert "unknown" in out.getvalue()

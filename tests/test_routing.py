@@ -104,6 +104,44 @@ class TestSPF:
         net.fail_link("l1")
         assert net.routing.distance(routers[0], routers[3]) == float("inf")
 
+    def test_distance_to_self_is_zero(self):
+        net, routers, _ = line_of_routers(3, lan_tails=False)
+        for router in routers:
+            assert net.routing.distance(router, router) == 0.0
+        # Still zero after a topology change invalidates the caches.
+        net.fail_link("l0")
+        assert net.routing.distance(routers[0], routers[0]) == 0.0
+
+    def test_distance_and_path_under_cost_override(self):
+        net = Network()
+        a, b, c = (net.add_router(x) for x in "abc")
+        ab = net.add_p2p("ab", a, b, cost=1)
+        net.add_p2p("bc", b, c, cost=1)
+        net.add_p2p("ac", a, c, cost=3)
+        lan = net.add_subnet("lan", [c])
+        net.converge()
+        # Symmetric costs: a reaches c through b at 2.0.
+        assert net.routing.distance(a, c) == pytest.approx(2.0)
+        net.routing.override_cost(a, ab, 10.0)
+        net.converge()
+        # Override only affects a's view of a->b; the direct link wins.
+        assert net.routing.distance(a, c) == pytest.approx(3.0)
+        target = IPv4Address(int(lan.network.network_address) + 2)
+        assert [r.name for r in net.routing.path(a, target)] == ["a", "c"]
+        net.routing.clear_overrides()
+        net.converge()
+        assert net.routing.distance(a, c) == pytest.approx(2.0)
+
+    def test_distance_tracks_link_flip_without_explicit_recompute(self):
+        # Topology observers must invalidate the cached distances even
+        # when nobody calls converge()/recompute() after the flip.
+        net, routers, _ = line_of_routers(4, lan_tails=False)
+        assert net.routing.distance(routers[0], routers[3]) == pytest.approx(3.0)
+        net.fail_link("l1", reconverge=False)
+        assert net.routing.distance(routers[0], routers[3]) == float("inf")
+        net.restore_link("l1", reconverge=False)
+        assert net.routing.distance(routers[0], routers[3]) == pytest.approx(3.0)
+
 
 class TestUnicastForwarding:
     def test_host_to_host_across_routers(self):
@@ -187,3 +225,100 @@ class TestRoutingTable:
         table.install(route)
         table.clear()
         assert table.lookup(IPv4Address("10.0.0.1")) is None
+
+
+class TestLookupAgreesWithLinearScan:
+    """Property: the indexed + memoized lookup is observably identical to
+    a naive longest-prefix linear scan, across installs, removes, and
+    clears (which must all invalidate the memo cache)."""
+
+    @staticmethod
+    def _iface():
+        net = Network(trace_enabled=False)
+        router = net.add_router("r")
+        net.add_subnet("lan", [router])
+        return router.interfaces[0]
+
+    @staticmethod
+    def _probes(prefixes):
+        """Addresses worth checking: on-prefix, boundary, and misses."""
+        from ipaddress import IPv4Network
+
+        probes = [IPv4Address("203.0.113.9"), IPv4Address("0.0.0.1")]
+        for prefix in prefixes:
+            net = IPv4Network(prefix)
+            low = int(net.network_address)
+            high = int(net.broadcast_address)
+            probes.extend(
+                IPv4Address(x)
+                for x in (low, high, (low + high) // 2, (high + 1) & 0xFFFFFFFF)
+            )
+        return probes
+
+    def _check_agreement(self, table, prefixes):
+        for address in self._probes(prefixes):
+            assert table.lookup(address) is table.lookup_linear(address), address
+
+    def test_randomized_tables(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+        from ipaddress import IPv4Network
+
+        from repro.routing.table import Route, RoutingTable
+
+        iface = self._iface()
+
+        prefix_st = st.builds(
+            lambda base, plen: IPv4Network((base, plen), strict=False),
+            st.integers(min_value=0, max_value=(1 << 32) - 1),
+            st.integers(min_value=0, max_value=32),
+        )
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            prefixes=st.lists(prefix_st, min_size=1, max_size=24, unique=True),
+            data=st.data(),
+        )
+        def run(prefixes, data):
+            table = RoutingTable()
+            for i, prefix in enumerate(prefixes):
+                table.install(Route(prefix, iface, None, float(i)))
+            self._check_agreement(table, prefixes)
+
+            # Remove a random subset; the memo cache must not serve
+            # stale hits for the removed prefixes.
+            to_remove = data.draw(
+                st.lists(st.sampled_from(prefixes), unique=True),
+                label="removed",
+            )
+            for prefix in to_remove:
+                table.remove(prefix)
+            self._check_agreement(table, prefixes)
+
+            # Re-install one removed prefix: cache must notice installs.
+            if to_remove:
+                back = to_remove[0]
+                table.install(Route(back, iface, None, 99.0))
+                self._check_agreement(table, prefixes)
+
+            table.clear()
+            for address in self._probes(prefixes):
+                assert table.lookup(address) is None
+
+        run()
+
+    def test_lookup_linear_reference_semantics(self):
+        # Sanity-check the reference itself: longest prefix wins.
+        from ipaddress import IPv4Network
+
+        from repro.routing.table import Route, RoutingTable
+
+        iface = self._iface()
+        table = RoutingTable()
+        broad = Route(IPv4Network("10.0.0.0/8"), iface, None, 1.0)
+        narrow = Route(IPv4Network("10.0.1.0/24"), iface, None, 1.0)
+        table.install(broad)
+        table.install(narrow)
+        assert table.lookup_linear(IPv4Address("10.0.1.5")) is narrow
+        assert table.lookup_linear(IPv4Address("10.0.2.5")) is broad
+        assert table.lookup_linear(IPv4Address("11.0.0.1")) is None
