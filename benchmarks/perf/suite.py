@@ -204,12 +204,51 @@ def bench_scale(quick: bool) -> Dict[str, Metric]:
     return metrics
 
 
+def bench_chaos(quick: bool) -> Dict[str, Metric]:
+    """Chaos smoke campaign: recovery cost under deterministic faults.
+
+    Doubles as the CI wiring for ``repro chaos --quick``: the benchmark
+    raises (failing the suite) if any campaign cell fails to recover or
+    trips the invariant auditor.
+    """
+    from repro.chaos import run_campaign
+
+    topologies = ("figure1",) if quick else ("figure1", "grid9")
+    t0 = time.perf_counter()
+    campaign = run_campaign(quick=quick, topologies=topologies)
+    wall = time.perf_counter() - t0
+    failures = campaign.failures()
+    if failures:
+        raise AssertionError(
+            "chaos campaign failed: "
+            + "; ".join(
+                f"{r.topology}/{r.scenario} seed={r.seed} "
+                f"(recovered={r.recovered}, violations={len(r.violations)})"
+                for r in failures
+            )
+        )
+    cells = campaign.results
+    tag = "quick" if quick else "full"
+    return {
+        f"cells_per_sec_{tag}": _metric(len(cells) / wall, "cells/s"),
+        f"max_recovery_{tag}": _metric(
+            max(r.recovery_time for r in cells), "sim s", higher_is_better=False
+        ),
+        f"control_msgs_per_cell_{tag}": _metric(
+            sum(r.control_cost for r in cells) / len(cells),
+            "msgs",
+            higher_is_better=False,
+        ),
+    }
+
+
 BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "route_lookup": bench_route_lookup,
     "recompute": bench_recompute,
     "scheduler": bench_scheduler,
     "codec": bench_codec,
     "scale": bench_scale,
+    "chaos": bench_chaos,
 }
 
 

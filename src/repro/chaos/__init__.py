@@ -1,0 +1,39 @@
+"""Deterministic chaos campaigns for the CBT reproduction.
+
+Three layers, composed by the ``repro chaos`` CLI verb:
+
+* fault injectors (:mod:`repro.netsim.faults`) — seeded loss/jitter
+  processes and timed link/node fault events, all replayable;
+* the scenario catalogue (:mod:`repro.chaos.scenarios`) — named,
+  seed-parameterised fault schedules aimed at a standing tree;
+* the campaign runner (:mod:`repro.harness.campaign`) — sweeps
+  scenarios × seeds × topologies to quiescence under the always-on
+  invariant auditor, recording recovery latency, control cost, and
+  delivery continuity.
+"""
+
+from repro.chaos.scenarios import (
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    ChaosContext,
+    link_between,
+)
+from repro.harness.campaign import (
+    TOPOLOGIES,
+    CampaignResult,
+    ScenarioResult,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "CampaignResult",
+    "ChaosContext",
+    "QUICK_SCENARIOS",
+    "SCENARIOS",
+    "ScenarioResult",
+    "TOPOLOGIES",
+    "link_between",
+    "run_campaign",
+    "run_scenario",
+]

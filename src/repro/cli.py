@@ -234,6 +234,87 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import SCENARIOS, TOPOLOGIES, run_campaign
+    from repro.harness.formatting import format_table
+
+    scenarios = args.scenario or None
+    topologies = args.topology or ["figure1"]
+    for name in scenarios or []:
+        if name not in SCENARIOS:
+            print(f"unknown scenario {name!r}; known: {', '.join(SCENARIOS)}", file=sys.stderr)
+            return 2
+    for name in topologies:
+        if name not in TOPOLOGIES:
+            print(f"unknown topology {name!r}; known: {', '.join(TOPOLOGIES)}", file=sys.stderr)
+            return 2
+
+    def progress(result) -> None:
+        status = "ok" if result.recovered and not result.violations else "FAIL"
+        print(
+            f"  {result.topology:10s} {result.scenario:14s} seed={result.seed}  {status}"
+        )
+
+    campaign = run_campaign(
+        scenarios=scenarios,
+        seeds=tuple(args.seeds),
+        topologies=tuple(topologies),
+        quick=args.quick,
+        progress=progress if args.verbose else None,
+    )
+    rows = []
+    for r in campaign.results:
+        rows.append(
+            [
+                r.topology,
+                r.scenario,
+                r.seed,
+                "yes" if r.recovered else "NO",
+                "-" if r.recovery_time == float("inf") else f"{r.recovery_time:.1f}s",
+                r.control_cost,
+                f"{r.delivery_before:.0%}",
+                f"{r.delivery_after:.0%}",
+                len(r.violations),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "topology",
+                "scenario",
+                "seed",
+                "recovered",
+                "recovery",
+                "control",
+                "del/pre",
+                "del/post",
+                "violations",
+            ],
+            rows,
+            title=(
+                f"chaos campaign: {len(campaign.results)} cells"
+                + (" (quick)" if args.quick else "")
+            ),
+        )
+    )
+    failures = campaign.failures()
+    if failures:
+        print(f"\n{len(failures)} cell(s) failed:", file=sys.stderr)
+        for r in failures:
+            print(
+                f"\n-- {r.topology}/{r.scenario} seed={r.seed} --", file=sys.stderr
+            )
+            for at, what in r.faults:
+                print(f"  fault t={at:8.2f}  {what}", file=sys.stderr)
+            for line in r.violations:
+                print(f"  violation: {line}", file=sys.stderr)
+            for line in r.trace:
+                print(f"  trace: {line}", file=sys.stderr)
+        return 1
+    print("\nall cells recovered; auditor clean")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report, write_report
 
@@ -306,6 +387,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", help="artifact directory (default: repository root)"
     )
     bench.set_defaults(func=cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run deterministic fault-injection campaigns under the invariant auditor",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke sweep (quick scenarios x 1 seed on Figure 1)",
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run a subset of scenarios (repeatable; default: all)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0, 1, 2],
+        help="seeds to sweep (default: 0 1 2)",
+    )
+    chaos.add_argument(
+        "--topology",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="topologies to sweep (repeatable; default: figure1)",
+    )
+    chaos.add_argument(
+        "--verbose", action="store_true", help="print each cell as it finishes"
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     report = sub.add_parser(
         "report", help="assemble benchmark artefacts into one markdown report"

@@ -5,13 +5,22 @@ that are either invariant violations (parent/child disagreement, tree
 loops) or operational smells (stale pending joins, stranded member
 LANs, double-served LANs).  Tests use it as a one-call health check;
 operators would run it from the CLI after incidents.
+
+:func:`check_invariants` is the strict, error-only subset used by the
+always-on :class:`InvariantAuditor`: conditions that must hold at any
+quiescent instant and may only appear transiently while the protocol
+converges.  The auditor samples a running domain at a configurable
+interval and fails loudly — :class:`InvariantViolation` carrying the
+recent protocol event trace — when a violation outlives its grace
+window, i.e. when the §6 recovery machinery demonstrably failed to
+repair the tree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from ipaddress import IPv4Address
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -199,3 +208,345 @@ def errors(findings: List[Finding]) -> List[Finding]:
 
 def warnings(findings: List[Finding]) -> List[Finding]:
     return [f for f in findings if f.severity == "warning"]
+
+
+# -- always-on invariant auditing (ISSUE-2 tentpole, part 3) ----------------
+
+
+def _crashed(protocol) -> bool:
+    """A node with every interface down is frozen mid-crash; its state
+    is unreachable and deliberately excluded from invariant checks."""
+    return all(not interface.up for interface in protocol.router.interfaces)
+
+
+def check_invariants(domain, now: Optional[float] = None) -> List[Finding]:
+    """Error-only invariant sweep for a (possibly mid-fault) domain.
+
+    Invariants checked:
+
+    * parent/child symmetry — a router's parent must list it as a child;
+    * acyclicity — parent pointers never loop (among live routers);
+    * core-rooted — a parentless on-tree router either owns a core
+      address for the group or is actively re-attaching (pending join,
+      rejoin attempt, or quit in progress); anything else is a stranded
+      subtree root or an orphaned FIB entry;
+    * bounded pending joins — transient state must carry a live expiry
+      timer and never outlive EXPIRE-PENDING-JOIN by more than a
+      retransmission interval;
+    * bounded quits — a group marked quitting must have a live retry
+      timer driving it.
+
+    Routers whose interfaces are all down (crashed) are skipped, as are
+    relationships that reference them: their state is frozen and will
+    be re-audited once they restart.
+    """
+    if now is None:
+        now = domain.network.scheduler.now
+    findings: List[Finding] = []
+    address_owner: Dict[IPv4Address, str] = {}
+    live: Dict[str, object] = {}
+    crashed_names: Set[str] = set()
+    for name, protocol in domain.protocols.items():
+        for interface in protocol.router.interfaces:
+            address_owner[interface.address] = name
+        if _crashed(protocol):
+            crashed_names.add(name)
+        else:
+            live[name] = protocol
+
+    for name, protocol in live.items():
+        timers = protocol.timers
+        own_addresses = {i.address for i in protocol.router.interfaces}
+        for entry in protocol.fib:
+            group = entry.group
+            # Self-references satisfy the symmetry check below (the
+            # router vouches for itself), so reject them explicitly: a
+            # join delivered back to its sender welds exactly this.
+            if entry.has_parent and entry.parent_address in own_addresses:
+                findings.append(
+                    Finding("error", name, group, "lists itself as parent")
+                )
+            for child in own_addresses & set(entry.children):
+                findings.append(
+                    Finding(
+                        "error", name, group, f"lists itself ({child}) as a child"
+                    )
+                )
+            if entry.has_parent:
+                parent_name = address_owner.get(entry.parent_address)
+                if parent_name is None:
+                    findings.append(
+                        Finding(
+                            "error",
+                            name,
+                            group,
+                            f"parent {entry.parent_address} is not a known "
+                            "CBT router",
+                        )
+                    )
+                elif parent_name not in crashed_names:
+                    parent_entry = domain.protocols[parent_name].fib.get(group)
+                    if parent_entry is None or not (
+                        own_addresses & set(parent_entry.children)
+                    ):
+                        findings.append(
+                            Finding(
+                                "error",
+                                name,
+                                group,
+                                f"parent {parent_name} does not list this "
+                                "router as a child",
+                            )
+                        )
+            else:
+                in_repair = (
+                    group in protocol.pending
+                    or group in protocol.rejoins
+                    or group in protocol._quitting
+                )
+                if not protocol.is_core_for(group) and not in_repair:
+                    if entry.has_children or protocol.igmp.any_member_subnet(
+                        group
+                    ):
+                        findings.append(
+                            Finding(
+                                "error",
+                                name,
+                                group,
+                                "stranded subtree root: no parent, not a "
+                                "core, and no re-attachment in progress",
+                            )
+                        )
+                    else:
+                        findings.append(
+                            Finding(
+                                "error",
+                                name,
+                                group,
+                                "orphaned FIB entry: no parent, children, "
+                                "members, or core role",
+                            )
+                        )
+        bound = timers.expire_pending_join + 2 * timers.pend_join_interval
+        for group, pend in protocol.pending.items():
+            age = now - pend.created_at
+            if age > bound:
+                findings.append(
+                    Finding(
+                        "error",
+                        name,
+                        group,
+                        f"pending join is {age:.1f}s old (bound {bound:.1f}s)",
+                    )
+                )
+            if pend.expiry_timer is None or not pend.expiry_timer.pending:
+                findings.append(
+                    Finding(
+                        "error",
+                        name,
+                        group,
+                        "pending join has no live expiry timer (stuck "
+                        "transient state)",
+                    )
+                )
+        quit_timers = getattr(protocol, "_quit_timers", {})
+        for group in protocol._quitting:
+            timer = quit_timers.get(group)
+            if timer is None or not timer.pending:
+                findings.append(
+                    Finding(
+                        "error",
+                        name,
+                        group,
+                        "quit in progress with no live retry timer",
+                    )
+                )
+
+    findings.extend(_check_live_loops(domain, address_owner, live))
+    return findings
+
+
+def _check_live_loops(domain, address_owner, live) -> List[Finding]:
+    """Parent-pointer loop detection restricted to live routers."""
+    out: List[Finding] = []
+    groups = {
+        entry.group for protocol in live.values() for entry in protocol.fib
+    }
+    for group in sorted(groups, key=int):
+        for start in live:
+            seen = set()
+            current = start
+            while current is not None and current not in seen:
+                seen.add(current)
+                protocol = live.get(current)
+                if protocol is None:
+                    break  # walk reached a crashed router: frozen, not a loop
+                entry = protocol.fib.get(group)
+                if entry is None or not entry.has_parent:
+                    current = None
+                else:
+                    current = address_owner.get(entry.parent_address)
+            if current is not None and current in seen:
+                out.append(
+                    Finding(
+                        "error", current, group, "parent pointers form a loop"
+                    )
+                )
+                break
+    return out
+
+
+class InvariantViolation(AssertionError):
+    """A tree invariant outlived its grace window during a run.
+
+    Carries the offending findings and the recent protocol event trace
+    so a failed campaign is diagnosable from the exception alone.
+    """
+
+    def __init__(self, findings: List[Finding], trace: List[str]) -> None:
+        self.findings = findings
+        self.trace = trace
+        lines = [f"{len(findings)} invariant violation(s):"]
+        lines.extend(f"  {finding}" for finding in findings)
+        if trace:
+            lines.append("recent protocol events:")
+            lines.extend(f"  {line}" for line in trace)
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class AuditSample:
+    """One auditor tick: the findings observed at ``time``."""
+
+    time: float
+    findings: List[Finding] = field(default_factory=list)
+
+
+class InvariantAuditor:
+    """Checks :func:`check_invariants` at intervals during a run.
+
+    A finding may appear transiently while the protocol converges (a
+    rejoin loop exists *by design* until §6.3 detection breaks it), so
+    a violation is only raised when the same finding persists beyond
+    ``grace`` seconds.  ``grace`` defaults to the slowest legitimate
+    repair path of the domain's timer profile: child-assert expiry plus
+    one assert interval plus a join retransmission.
+
+    Usage::
+
+        auditor = InvariantAuditor(domain, interval=0.5)
+        auditor.start()
+        net.run(until=...)          # raises InvariantViolation on failure
+        auditor.assert_clean()      # final end-of-run check
+    """
+
+    def __init__(
+        self,
+        domain,
+        interval: float = 1.0,
+        grace: Optional[float] = None,
+        strict: bool = True,
+        trace_events: int = 40,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.domain = domain
+        self.interval = interval
+        if grace is None:
+            timers = next(iter(domain.protocols.values())).timers
+            grace = (
+                timers.child_assert_expire
+                + timers.child_assert_interval
+                + timers.pend_join_interval
+            )
+        self.grace = grace
+        self.strict = strict
+        self.trace_events = trace_events
+        self.checks_run = 0
+        self.samples: List[AuditSample] = []
+        #: Violations collected when ``strict`` is False.
+        self.violations: List[InvariantViolation] = []
+        self._first_seen: Dict[Tuple, float] = {}
+        self._timer = None
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.domain.network.scheduler.call_later(
+            self.interval, self._tick
+        )
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- checking -------------------------------------------------------
+
+    def check_now(self) -> List[Finding]:
+        """One audit pass; updates persistence tracking, returns the
+        findings that are now overdue (past their grace window)."""
+        now = self.domain.network.scheduler.now
+        findings = check_invariants(self.domain, now=now)
+        self.checks_run += 1
+        self.samples.append(AuditSample(time=now, findings=findings))
+        fingerprints = {}
+        for finding in findings:
+            key = (finding.router, finding.group, finding.message)
+            fingerprints[key] = finding
+        # Findings that healed reset their clock.
+        self._first_seen = {
+            key: seen
+            for key, seen in self._first_seen.items()
+            if key in fingerprints
+        }
+        for key in fingerprints:
+            self._first_seen.setdefault(key, now)
+        return [
+            finding
+            for key, finding in fingerprints.items()
+            if now - self._first_seen[key] > self.grace
+        ]
+
+    def assert_clean(self) -> None:
+        """Final check: raise on any overdue finding right now."""
+        overdue = self.check_now()
+        if overdue:
+            self._fail(overdue)
+
+    def event_trace(self) -> List[str]:
+        """The domain's most recent protocol events, merged and sorted."""
+        events = [
+            (event.time, name, event)
+            for name, protocol in self.domain.protocols.items()
+            for event in protocol.events
+        ]
+        events.sort(key=lambda item: item[0])
+        return [
+            f"t={time:.3f} {name} {event.kind} group={event.group}"
+            + (f" {event.detail}" if event.detail else "")
+            for time, name, event in events[-self.trace_events :]
+        ]
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        overdue = self.check_now()
+        if overdue:
+            self._fail(overdue)
+        if self._running:
+            self._timer = self.domain.network.scheduler.call_later(
+                self.interval, self._tick
+            )
+
+    def _fail(self, overdue: List[Finding]) -> None:
+        violation = InvariantViolation(overdue, self.event_trace())
+        if self.strict:
+            self.stop()
+            raise violation
+        self.violations.append(violation)

@@ -48,7 +48,7 @@ from repro.core.timers import CBTTimers, DEFAULT_TIMERS
 from repro.igmp.messages import CoreReport
 from repro.igmp.router_side import IGMPConfig, IGMPRouterAgent
 from repro.netsim.address import ALL_CBT_ROUTERS
-from repro.netsim.engine import PeriodicTimer
+from repro.netsim.engine import PeriodicTimer, Timer
 from repro.netsim.nic import Interface
 from repro.netsim.node import Node
 from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IPIP, PROTO_UDP, make_udp
@@ -141,6 +141,18 @@ class CBTProtocol:
         self._parent_last_reply: Dict[IPv4Address, float] = {}
         #: group -> remaining quit retries (present while quitting).
         self._quitting: Dict[IPv4Address, int] = {}
+        #: group -> the parent the outstanding quit was sent to.
+        self._quit_parent: Dict[IPv4Address, IPv4Address] = {}
+        #: group -> live retry timer driving an in-progress rejoin
+        #: whenever no pending join exists for it.  The invariant
+        #: auditor checks this: a rejoin with neither a pending join
+        #: nor a live retry timer is stuck forever.
+        self._rejoin_timers: Dict[IPv4Address, Timer] = {}
+        #: group -> live retry timer for the outstanding quit.  Held so
+        #: a completed or cancelled quit tears down its rearming chain
+        #: instead of leaving a stale callback to fire into a later
+        #: quit (or a new parent) for the same group.
+        self._quit_timers: Dict[IPv4Address, Timer] = {}
         #: group -> consecutive loop detections; bounds loop-break retries.
         self._loop_count: Dict[IPv4Address, int] = {}
 
@@ -287,7 +299,7 @@ class CBTProtocol:
         if self.is_core_for(group):
             # A secondary core with local members joins the primary.
             self.fib.get_or_create(group)
-            self._originate_join(
+            self._join_or_arm_retry(
                 group,
                 cores=cores,
                 target_core=cores[0],
@@ -299,7 +311,7 @@ class CBTProtocol:
         # appendix's "target core" field); default to the primary.
         target_index = self._target_core_index.get(group, 0)
         target = cores[target_index] if target_index < len(cores) else cores[0]
-        self._originate_join(
+        self._join_or_arm_retry(
             group,
             cores=cores,
             target_core=target,
@@ -346,6 +358,12 @@ class CBTProtocol:
         origin: IPv4Address,
     ) -> bool:
         """Create pending state and unicast a join to the first hop."""
+        if self.router.owns_address(target_core):
+            # Targeting an address we own would deliver the join right
+            # back to us and weld self-parent/self-child state; a core's
+            # only meaningful upstream is *another* core.
+            self._record("self_core_skipped", group, detail=str(target_core))
+            return False
         resolved = self._resolve_upstream(target_core)
         if resolved is None:
             self._record("no_route", group, detail=str(target_core))
@@ -443,10 +461,20 @@ class CBTProtocol:
                 core_index=self._core_index(pend.cores, pend.target_core),
             )
             self.rejoins[group] = attempt
-        if attempt.expired(now, self.timers.reconnect_timeout):
+        if attempt.expired(
+            now, self.timers.reconnect_timeout
+        ) and not self.is_core_for(group):
+            # Non-core: flush and let descendants re-home.  A core
+            # stays a legitimate root for its partition (§6.1).
             self._give_up(group)
             return
-        next_core = attempt.advance_core()
+        next_core = self._next_foreign_core(attempt)
+        if next_core is None:
+            # Every listed core is local: we are the only core left —
+            # stand as the partition root instead of joining ourselves.
+            self.rejoins.pop(group, None)
+            self._cancel_rejoin_timer(group)
+            return
         self._record("retry", group, detail=str(next_core))
         self._flush_child_on_path(group, next_core)
         started = self._originate_join(
@@ -459,7 +487,7 @@ class CBTProtocol:
         if not started:
             # No route to this core either; re-enter failure handling
             # after a retransmission interval rather than recursing.
-            self.router.scheduler.call_later(
+            self._rejoin_timers[group] = self.router.scheduler.call_later(
                 self.timers.pend_join_interval,
                 self._make_failed_retry(group, pend, attempt),
             )
@@ -475,6 +503,60 @@ class CBTProtocol:
 
         return retry
 
+    def _cancel_rejoin_timer(self, group: IPv4Address) -> None:
+        timer = self._rejoin_timers.pop(group, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _join_or_arm_retry(
+        self,
+        group: IPv4Address,
+        cores: Tuple[IPv4Address, ...],
+        target_core: IPv4Address,
+        subcode: JoinSubcode,
+        origin: IPv4Address,
+    ) -> bool:
+        """:meth:`_originate_join`, but resilient to no-route failures.
+
+        When no route to ``target_core`` exists right now (it may sit
+        behind the very failure that prompted the join), seed a rejoin
+        attempt whose retry timer cycles the core list until a route
+        appears — otherwise the group would be stranded with no driver.
+        """
+        started = self._originate_join(
+            group,
+            cores=cores,
+            target_core=target_core,
+            subcode=subcode,
+            origin=origin,
+        )
+        if not started:
+            if group not in self.rejoins:
+                self.rejoins[group] = RejoinAttempt(
+                    group=group,
+                    started_at=self.router.scheduler.now,
+                    cores=cores,
+                    core_index=self._core_index(cores, target_core),
+                )
+            self._cancel_rejoin_timer(group)
+            self._rejoin_timers[group] = self.router.scheduler.call_later(
+                self.timers.pend_join_interval, self._make_rejoin_retry(group)
+            )
+        return started
+
+    def _next_foreign_core(self, attempt: RejoinAttempt) -> Optional[IPv4Address]:
+        """Advance the attempt's core cycle, skipping addresses we own.
+
+        Returns ``None`` when every listed core is local — this router
+        is the only core, so it stays root rather than rejoining.
+        """
+        core = attempt.advance_core()
+        for _ in range(len(attempt.cores)):
+            if not self.router.owns_address(core):
+                return core
+            core = attempt.advance_core()
+        return None
+
     @staticmethod
     def _core_index(cores: Tuple[IPv4Address, ...], core: IPv4Address) -> int:
         try:
@@ -485,6 +567,7 @@ class CBTProtocol:
     def _give_up(self, group: IPv4Address) -> None:
         """Reconnect timeout exhausted (§6.1): flush downstream, clear."""
         self.rejoins.pop(group, None)
+        self._cancel_rejoin_timer(group)
         entry = self.fib.get(group)
         if entry is not None and entry.has_children:
             self._send_flush_downstream(entry)
@@ -506,7 +589,7 @@ class CBTProtocol:
             if not member_vifs or not cores:
                 return
             origin = self.router.interface_for_vif(member_vifs[0]).address
-            self._originate_join(
+            self._join_or_arm_retry(
                 group,
                 cores=cores,
                 target_core=cores[0],
@@ -522,9 +605,13 @@ class CBTProtocol:
         if entry is None:
             return
         route = self.router.best_route(core)
-        if route is None or route.next_hop is None:
+        if route is None:
             return
-        if route.next_hop in entry.children:
+        # A directly connected target has no next hop: the first hop on
+        # the path is the target itself (it may well be our child — an
+        # adjacent core we are about to rejoin through).
+        hop = route.next_hop if route.next_hop is not None else core
+        if hop in entry.children:
             self._send_control(
                 CBTControlMessage(
                     msg_type=MessageType.FLUSH_TREE,
@@ -532,9 +619,9 @@ class CBTProtocol:
                     group=group,
                     origin=self.address,
                 ),
-                route.next_hop,
+                hop,
             )
-            entry.remove_child(route.next_hop)
+            entry.remove_child(hop)
 
     # ------------------------------------------------------------------
     # control-message reception and dispatch
@@ -633,6 +720,19 @@ class CBTProtocol:
             return
         entry = self.fib.get(group)
         if entry is not None:
+            if entry.has_parent and entry.parent_address == src:
+                # §6.3 degenerate case: our own parent is rejoining
+                # through us, so the upstream path we shared with it is
+                # defunct.  Acking now would weld a two-router cycle
+                # that keepalives then sustain forever.  Recover as if
+                # the parent had failed, then re-process the join
+                # against the recovered state (it lands in our own
+                # pending join's cache, or terminates on a parentless
+                # root).
+                self._record("parent_rejoined", group, detail=str(src))
+                self._parent_failed(group)
+                self._process_join(arrival_vif, src, message, subcode)
+                return
             self._terminate_join_on_tree(entry, arrival_vif, src, message, subcode)
             return
         if self.router.owns_address(message.target_core):
@@ -716,7 +816,7 @@ class CBTProtocol:
         if primary is not None and not self.router.owns_address(primary):
             # Secondary core: ack first, then join the primary (§2.5).
             self._record("core_activated", group, detail="secondary")
-            self._originate_join(
+            self._join_or_arm_retry(
                 group,
                 cores=message.cores,
                 target_core=primary,
@@ -788,6 +888,13 @@ class CBTProtocol:
             self._child_last_heard[(entry.group, downstream)] = (
                 self.router.scheduler.now
             )
+            if entry.group in self._quitting:
+                # A new downstream arrived while our own quit was in
+                # flight: we must stay on-tree.  The parent may already
+                # have processed the quit and dropped us, so abandon
+                # the quit and re-validate the upstream path with a
+                # rejoin (idempotent if the quit never landed).
+                self._abort_quit_for_new_child(entry)
         else:
             self._record("gdr", entry.group, detail=f"vif {downstream_vif}")
         ack = CBTControlMessage(
@@ -799,6 +906,25 @@ class CBTProtocol:
             cores=self.cores_for(entry.group) or message.cores,
         )
         self._send_control(ack, downstream)
+
+    def _abort_quit_for_new_child(self, entry: FIBEntry) -> None:
+        group = entry.group
+        self._cancel_quit(group)
+        self._record("quit_cancelled", group)
+        if self.is_primary_core_for(group):
+            return  # the root needs no upstream path
+        cores = self.cores_for(group)
+        if not cores:
+            return
+        entry.clear_parent()
+        self._parent_last_reply.pop(group, None)
+        self._join_or_arm_retry(
+            group,
+            cores=cores,
+            target_core=cores[0],
+            subcode=JoinSubcode.REJOIN_ACTIVE,
+            origin=self.address,
+        )
 
     def _has_other_cbt_router(
         self, interface: Interface, origin: IPv4Address
@@ -829,10 +955,38 @@ class CBTProtocol:
             # §2.6: cancel transient state; the sender is now G-DR.
             self._gdr_known[(pend.upstream_vif, group)] = src
             self._nack_cached(pend)
-            self.rejoins.pop(group, None)
             self._record("proxied", group, detail=str(src))
+            entry = self.fib.get(group)
+            if entry is not None and entry.has_children:
+                # A proxy-ack only absolves us of serving the shared
+                # LAN — not of our downstream subtree.  Keep the rejoin
+                # driving toward a real on-tree attachment.
+                if group not in self.rejoins:
+                    self.rejoins[group] = RejoinAttempt(
+                        group=group,
+                        started_at=self.router.scheduler.now,
+                        cores=pend.cores,
+                    )
+                self._cancel_rejoin_timer(group)
+                self._rejoin_timers[group] = self.router.scheduler.call_later(
+                    self.timers.pend_join_interval,
+                    self._make_rejoin_retry(group),
+                )
+                return
+            # Childless: the G-DR covers our LAN members; any leftover
+            # parentless entry would be a stranded root.
+            self.rejoins.pop(group, None)
+            self._cancel_rejoin_timer(group)
+            if entry is not None:
+                self._clear_group(group)
+                self._record("yield_lan", group, detail=str(src))
             return
         entry = self.fib.get_or_create(group)
+        if group in self._quitting:
+            # The parent is changing: the old quit (and its retry
+            # chain) no longer applies; a late QUIT_ACK from the old
+            # parent must not clear the fresh attachment.
+            self._cancel_quit(group)
         entry.set_parent(pend.upstream_address, pend.upstream_vif)
         self._parent_last_reply[group] = self.router.scheduler.now
         if pend.downstream_address is not None:
@@ -854,6 +1008,7 @@ class CBTProtocol:
             self._record("joined", group, detail=f"{latency:.4f}")
         if group in self.rejoins:
             self.rejoins.pop(group, None)
+            self._cancel_rejoin_timer(group)
             self._record("rejoined", group)
         self._replay_cached(pend)
         # Prime the keepalive: send the first echo right away (§6).
@@ -979,7 +1134,7 @@ class CBTProtocol:
         if attempt.expired(self.router.scheduler.now, self.timers.reconnect_timeout):
             self._give_up(group)
             return
-        self.router.scheduler.call_later(
+        self._rejoin_timers[group] = self.router.scheduler.call_later(
             self.timers.pend_join_interval, self._make_rejoin_retry(group)
         )
 
@@ -993,23 +1148,38 @@ class CBTProtocol:
                 return  # already reattached
             if attempt.expired(
                 self.router.scheduler.now, self.timers.reconnect_timeout
-            ):
+            ) and not self.is_core_for(group):
+                # Non-core: flush and let descendants re-home.  A core
+                # stays a legitimate root for its partition and keeps
+                # retrying until the topology heals (§6.1).
                 self._give_up(group)
                 return
-            core = attempt.advance_core()
+            core = self._next_foreign_core(attempt)
+            if core is None:
+                self.rejoins.pop(group, None)
+                self._cancel_rejoin_timer(group)
+                return  # we are the only core: nothing to rejoin to
             subcode = (
                 JoinSubcode.REJOIN_ACTIVE
                 if entry is not None and entry.has_children
                 else JoinSubcode.ACTIVE_JOIN
             )
             self._flush_child_on_path(group, core)
-            self._originate_join(
+            started = self._originate_join(
                 group,
                 cores=attempt.cores,
                 target_core=core,
                 subcode=subcode,
                 origin=self.address,
             )
+            if not started:
+                # No route to this core right now (e.g. mid-partition):
+                # keep the retry chain alive instead of stranding the
+                # group in rejoin state forever; the reconnect deadline
+                # above still bounds the loop.
+                self._rejoin_timers[group] = self.router.scheduler.call_later(
+                    self.timers.pend_join_interval, retry
+                )
 
         return retry
 
@@ -1030,9 +1200,21 @@ class CBTProtocol:
         if not entry.has_parent:
             self._clear_group(group)
             return
+        self._start_quit(group, entry.parent_address)
+
+    def _start_quit(self, group: IPv4Address, parent: IPv4Address) -> None:
         self._quitting[group] = QUIT_RETRY_LIMIT
-        self._send_quit_to(group, entry.parent_address)
-        self._arm_quit_retry(group, entry.parent_address)
+        self._quit_parent[group] = parent
+        self._send_quit_to(group, parent)
+        self._arm_quit_retry(group, parent)
+
+    def _cancel_quit(self, group: IPv4Address) -> None:
+        """Tear down quit state *and* its retry chain (stale-callback fix)."""
+        self._quitting.pop(group, None)
+        self._quit_parent.pop(group, None)
+        timer = self._quit_timers.pop(group, None)
+        if timer is not None:
+            timer.cancel()
 
     def _send_quit_to(self, group: IPv4Address, parent: IPv4Address) -> None:
         self._send_control(
@@ -1050,9 +1232,11 @@ class CBTProtocol:
             remaining = self._quitting.get(group)
             if remaining is None:
                 return
+            if self._quit_parent.get(group) != parent:
+                return  # quit re-targeted since this timer was armed
             if remaining <= 1:
                 # Parent unresponsive: drop parent state unilaterally.
-                self._quitting.pop(group, None)
+                self._cancel_quit(group)
                 self._clear_group(group)
                 self._record("quit_forced", group)
                 return
@@ -1060,7 +1244,9 @@ class CBTProtocol:
             self._send_quit_to(group, parent)
             self._arm_quit_retry(group, parent)
 
-        self.router.scheduler.call_later(self.timers.pend_join_interval, retry)
+        self._quit_timers[group] = self.router.scheduler.call_later(
+            self.timers.pend_join_interval, retry
+        )
 
     def _recv_quit_request(
         self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
@@ -1085,10 +1271,14 @@ class CBTProtocol:
     def _recv_quit_ack(
         self, arrival: Interface, src: IPv4Address, message: CBTControlMessage
     ) -> None:
-        if message.group in self._quitting:
-            self._quitting.pop(message.group, None)
-            self._clear_group(message.group)
-            self._record("quit", message.group)
+        group = message.group
+        if group not in self._quitting:
+            return
+        if self._quit_parent.get(group) != src:
+            return  # stale ack from a previous quit's parent
+        self._cancel_quit(group)
+        self._clear_group(group)
+        self._record("quit", group)
 
     # -- FLUSH_TREE ----------------------------------------------------------------------
 
@@ -1124,7 +1314,7 @@ class CBTProtocol:
             cores = self.cores_for(group)
             if cores:
                 origin = self.router.interface_for_vif(member_vifs[0]).address
-                self._originate_join(
+                self._join_or_arm_retry(
                     group,
                     cores=cores,
                     target_core=cores[0],
@@ -1140,6 +1330,9 @@ class CBTProtocol:
         self.fib.remove(group)
         self._parent_last_reply.pop(group, None)
         self._loop_count.pop(group, None)
+        self._cancel_quit(group)
+        self.rejoins.pop(group, None)
+        self._cancel_rejoin_timer(group)
         pend = self.pending.pop(group, None)
         if pend is not None:
             pend.cancel_timers()
@@ -1209,7 +1402,9 @@ class CBTProtocol:
         now = self.router.scheduler.now
         if message.aggregate:
             # §8.4: refresh every child relationship whose group falls
-            # inside the echo's (base, mask) range.
+            # inside the echo's (base, mask) range.  The range does not
+            # enumerate exact groups, so unmatched ones cannot be
+            # flushed individually; CHILD-ASSERT expiry covers them.
             for entry in self.fib:
                 if src in entry.children and in_masked_range(
                     entry.group, message.group, message.group_mask
@@ -1217,8 +1412,22 @@ class CBTProtocol:
                     self._child_last_heard[(entry.group, src)] = now
         else:
             entry = self.fib.get(message.group)
-            if entry is not None and src in entry.children:
-                self._child_last_heard[(message.group, src)] = now
+            if entry is None or src not in entry.children:
+                # §6: the sender believes we are its parent but we hold
+                # no child state (we were flushed, quit, or restarted).
+                # Echoing back regardless would keep the stale branch
+                # alive forever; tell it to flush and re-attach.
+                self._send_control(
+                    CBTControlMessage(
+                        msg_type=MessageType.FLUSH_TREE,
+                        code=0,
+                        group=message.group,
+                        origin=self.address,
+                    ),
+                    src,
+                )
+                return
+            self._child_last_heard[(message.group, src)] = now
         reply_route = self.router.best_route(src)
         reply_src = (
             reply_route.interface.address if reply_route is not None else self.address
@@ -1322,13 +1531,20 @@ class CBTProtocol:
         )
         core = attempt.current_core()
         self._flush_child_on_path(group, core)
-        self._originate_join(
+        started = self._originate_join(
             group,
             cores=cores,
             target_core=core,
             subcode=subcode,
             origin=self.address,
         )
+        if not started:
+            # No route to the first-choice core (it may sit behind the
+            # failure itself): without a live retry the group would be
+            # stranded in rejoin state forever.
+            self._rejoin_timers[group] = self.router.scheduler.call_later(
+                self.timers.pend_join_interval, self._make_rejoin_retry(group)
+            )
 
     # -- HELLO / neighbour discovery ----------------------------------------------------------------
 
@@ -1443,9 +1659,7 @@ class CBTProtocol:
                 continue  # we serve other LANs too; stay
             self._record("yield_lan", group, detail=str(announcer))
             if group not in self._quitting:
-                self._quitting[group] = QUIT_RETRY_LIMIT
-                self._send_quit_to(group, entry.parent_address)
-                self._arm_quit_retry(group, entry.parent_address)
+                self._start_quit(group, entry.parent_address)
 
     # -- bookkeeping -----------------------------------------------------------------------------------
 

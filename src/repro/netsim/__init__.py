@@ -18,6 +18,16 @@ from repro.netsim.address import (
     is_multicast,
 )
 from repro.netsim.engine import Scheduler, Timer
+from repro.netsim.faults import (
+    FaultSchedule,
+    JitterBurst,
+    LinkFlap,
+    LossBurst,
+    NodeOutage,
+    Partition,
+    SeededJitter,
+    SeededLoss,
+)
 from repro.netsim.link import Link, PointToPointLink, Subnet
 from repro.netsim.nic import Interface
 from repro.netsim.node import Node, ProtocolHandler
@@ -36,9 +46,17 @@ __all__ = [
     "ALL_ROUTERS",
     "ALL_SYSTEMS",
     "AddressAllocator",
+    "FaultSchedule",
     "IPDatagram",
     "Interface",
+    "JitterBurst",
     "Link",
+    "LinkFlap",
+    "LossBurst",
+    "NodeOutage",
+    "Partition",
+    "SeededJitter",
+    "SeededLoss",
     "Node",
     "PROTO_CBT",
     "PROTO_IGMP",

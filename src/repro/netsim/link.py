@@ -44,6 +44,7 @@ class Link:
         cost: float = 1.0,
         loss: Optional[Callable[[IPDatagram], bool]] = None,
         bandwidth_bps: Optional[float] = None,
+        jitter: Optional[Callable[[IPDatagram], float]] = None,
     ) -> None:
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
@@ -58,6 +59,10 @@ class Link:
         self.delay = delay
         self.cost = cost
         self.loss = loss
+        #: Optional per-datagram extra propagation delay (delay jitter).
+        #: Must be deterministic for replayable runs — see
+        #: :class:`repro.netsim.faults.SeededJitter`.
+        self.jitter = jitter
         #: Optional capacity: transmissions serialise at this rate and
         #: queue FIFO behind one another (None = infinite capacity).
         self.bandwidth_bps = bandwidth_bps
@@ -131,6 +136,19 @@ class Link:
         if self.loss is not None and self.loss(datagram):
             self._record("drop", sender, datagram, note="loss")
             return
+        if datagram.is_multicast or (link_dst is None and datagram.dst not in self.network):
+            receivers = [i for i in self.interfaces if i is not sender and i._up]
+        else:
+            target = link_dst if link_dst is not None else datagram.dst
+            receiver = self._by_address.get(target)
+            receivers = [receiver] if receiver is not None and receiver._up else []
+            if not receivers:
+                # Undeliverable unicast: nothing was put on the wire,
+                # so it must not count as a transmission nor occupy the
+                # link (counting it inflated overhead metrics and
+                # delayed later packets behind a phantom datagram).
+                self._record("drop", sender, datagram, note=f"no host {target}")
+                return
         self.tx_count += 1
         self.tx_bytes += datagram.size_bytes()
         self._record("tx", sender, datagram)
@@ -144,15 +162,8 @@ class Link:
             self._busy_until = start + serialisation
             self.queued_time += start - now
             extra_delay = (start - now) + serialisation
-        if datagram.is_multicast or (link_dst is None and datagram.dst not in self.network):
-            receivers = [i for i in self.interfaces if i is not sender and i._up]
-        else:
-            target = link_dst if link_dst is not None else datagram.dst
-            receiver = self._by_address.get(target)
-            receivers = [receiver] if receiver is not None and receiver._up else []
-            if not receivers:
-                self._record("drop", sender, datagram, note=f"no host {target}")
-                return
+        if self.jitter is not None:
+            extra_delay += self.jitter(datagram)
         for receiver in receivers:
             self.scheduler.call_later(
                 self.delay + extra_delay, _make_delivery(self, receiver, datagram)

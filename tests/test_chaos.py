@@ -1,0 +1,150 @@
+"""Tests for the chaos subsystem: injectors, campaigns, auditor, CLI.
+
+The quick campaign here is the same sweep ``repro chaos --quick`` and
+the perf harness run, so a regression in any fault scenario fails the
+ordinary test suite too.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+from repro.chaos import (  # noqa: E402
+    QUICK_SCENARIOS,
+    SCENARIOS,
+    TOPOLOGIES,
+    run_campaign,
+    run_scenario,
+)
+from repro.cli import main  # noqa: E402
+from repro.core.constants import JoinSubcode  # noqa: E402
+from repro.core.audit import (  # noqa: E402
+    InvariantAuditor,
+    InvariantViolation,
+    check_invariants,
+)
+from tests.conftest import join_members  # noqa: E402
+
+
+class TestCatalogue:
+    def test_quick_scenarios_are_a_subset(self):
+        assert set(QUICK_SCENARIOS) <= set(SCENARIOS)
+        # The acceptance floor: a campaign sweeps at least 5 scenarios.
+        assert len(QUICK_SCENARIOS) >= 5
+        assert {"figure1", "waxman16", "grid9"} <= set(TOPOLOGIES)
+
+
+class TestQuickCampaign:
+    def test_recovers_clean_under_auditor(self):
+        campaign = run_campaign(quick=True)
+        assert len(campaign.results) == len(QUICK_SCENARIOS)
+        for result in campaign.results:
+            cell = f"{result.topology}/{result.scenario} seed={result.seed}"
+            assert result.recovered, cell
+            assert not result.violations, (cell, result.violations)
+            assert result.audit_checks > 0, cell
+            assert result.faults, cell
+            assert result.delivery_before == 1.0, cell
+            assert result.delivery_after == 1.0, cell
+        assert campaign.ok
+
+    def test_campaign_is_deterministic(self):
+        first = run_campaign(quick=True)
+        second = run_campaign(quick=True)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_single_cell_is_deterministic_across_seeds(self):
+        a = run_scenario("link_flap", seed=1)
+        b = run_scenario("link_flap", seed=1)
+        c = run_scenario("link_flap", seed=2)
+        assert a.fingerprint() == b.fingerprint()
+        # Different seeds pick (potentially) different targets; at
+        # minimum the seed is part of the identity.
+        assert b.fingerprint() != c.fingerprint()
+
+
+class TestAuditor:
+    def test_manufactured_stranding_trips_the_auditor(
+        self, figure1_domain, figure1_network
+    ):
+        """Corrupting a transit router's parent pointer must raise
+        InvariantViolation with findings and an event trace."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["H"])
+        auditor = InvariantAuditor(domain, interval=0.5, grace=1.0)
+        auditor.start()
+        figure1_network.run(until=figure1_network.scheduler.now + 2.0)
+        p8 = domain.protocol("R8")
+        entry = p8.fib.get(group)
+        assert entry is not None and entry.has_children
+        entry.clear_parent()  # stranded subtree root, no repair state
+        with pytest.raises(InvariantViolation) as exc:
+            figure1_network.run(until=figure1_network.scheduler.now + 30.0)
+        violation = exc.value
+        assert any("R8" in str(f) for f in violation.findings)
+        assert violation.trace
+        auditor.stop()
+
+    def test_self_reference_is_an_error(self, figure1_domain, figure1_network):
+        """A router listed as its own parent/child (what a join looped
+        back to its sender used to weld) is flagged immediately."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["H"])
+        p10 = domain.protocol("R10")
+        entry = p10.fib.get(group)
+        own = p10.router.interfaces[0]
+        entry.add_child(own.address, own.vif)
+        findings = check_invariants(domain)
+        assert any(
+            "itself" in f.message and f.router == "R10" for f in findings
+        )
+
+    def test_join_to_owned_core_address_is_refused(
+        self, figure1_domain, figure1_network
+    ):
+        """A core never originates a join toward its own address (the
+        datagram would be delivered straight back to it)."""
+        domain, group = figure1_domain
+        join_members(figure1_network, domain, group, ["A"])
+        p4 = domain.protocol("R4")
+        own_core = next(
+            c for c in p4.cores_for(group) if p4.router.owns_address(c)
+        )
+        started = p4._originate_join(
+            group,
+            cores=p4.cores_for(group),
+            target_core=own_core,
+            subcode=JoinSubcode.ACTIVE_JOIN,
+            origin=p4.address,
+        )
+        assert started is False
+        assert p4.events_of("self_core_skipped")
+
+
+class TestCLI:
+    def test_chaos_quick_exits_zero(self, capsys):
+        assert main(["chaos", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "all cells recovered" in out
+        for scenario in QUICK_SCENARIOS:
+            assert scenario in out
+
+    def test_chaos_rejects_unknown_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "meteor_strike"]) == 2
+
+
+class TestPerfHarnessWiring:
+    def test_chaos_benchmark_is_registered(self):
+        from benchmarks.perf.suite import BENCHMARKS
+
+        assert "chaos" in BENCHMARKS
+
+    def test_chaos_benchmark_quick_runs(self):
+        from benchmarks.perf.suite import bench_chaos
+
+        metrics = bench_chaos(quick=True)
+        assert metrics["cells_per_sec_quick"]["value"] > 0
+        assert metrics["max_recovery_quick"]["higher_is_better"] is False

@@ -138,6 +138,80 @@ class TestSubnetDelivery:
         assert subnet.tx_count == 1
         assert subnet.tx_bytes > 0
 
+    def test_undeliverable_unicast_not_counted_as_sent(self):
+        """Regression: a unicast to an absent address used to bump
+        tx_count/tx_bytes although nothing was put on the wire,
+        inflating every overhead metric built on link counters."""
+        net, subnet, nodes = build_lan(2)
+        before = (subnet.tx_count, subnet.tx_bytes)
+        d = IPDatagram(
+            src=nodes[0].interfaces[0].address,
+            dst=IPv4Address("10.9.9.9"),
+            proto=PROTO_UDP,
+            payload=b"phantom",
+        )
+        nodes[0].interfaces[0].send(d, link_dst=IPv4Address("10.9.9.9"))
+        net.run()
+        assert (subnet.tx_count, subnet.tx_bytes) == before
+        assert any(r.note.startswith("no host") for r in net.trace.drops())
+
+    def test_undeliverable_unicast_does_not_occupy_the_link(self):
+        """Regression: the phantom datagram also used to serialise on a
+        bandwidth-limited link, delaying real traffic behind it."""
+        net = Network()
+        subnet = net.add_subnet("LAN", bandwidth_bps=8_000.0)
+        nodes = []
+        for i in range(2):
+            node = Node(f"n{i}", net.scheduler)
+            received = []
+            node.register_default_handler(
+                lambda n, iface, d, bucket=received: bucket.append(d)
+            )
+            node.received = received
+            net.attach(node, subnet)
+            nodes.append(node)
+        phantom = IPDatagram(
+            src=nodes[0].interfaces[0].address,
+            dst=IPv4Address("10.9.9.9"),
+            proto=PROTO_UDP,
+            payload=b"x" * 500,
+        )
+        nodes[0].interfaces[0].send(phantom, link_dst=IPv4Address("10.9.9.9"))
+        real = IPDatagram(
+            src=nodes[0].interfaces[0].address,
+            dst=nodes[1].interfaces[0].address,
+            proto=PROTO_UDP,
+            payload=b"y",
+        )
+        nodes[0].interfaces[0].send(
+            real, link_dst=nodes[1].interfaces[0].address
+        )
+        net.run()
+        assert len(nodes[1].received) == 1
+        # Only the real datagram serialised: no queueing occurred.
+        assert subnet.tx_count == 1
+        assert subnet.queued_time == 0.0
+
+    def test_jitter_adds_bounded_deterministic_delay(self):
+        from repro.netsim.faults import SeededJitter
+
+        arrivals = []
+        for attempt in range(2):
+            net, subnet, nodes = build_lan(2)
+            subnet.jitter = SeededJitter(max_delay=0.5, seed=42)
+            d = IPDatagram(
+                src=nodes[0].interfaces[0].address,
+                dst=GROUP,
+                proto=PROTO_UDP,
+                payload=b"",
+            )
+            nodes[0].interfaces[0].send(d)
+            net.run()
+            assert len(nodes[1].received) == 1
+            arrivals.append(net.scheduler.now)
+            assert subnet.delay <= net.scheduler.now <= subnet.delay + 0.5
+        assert arrivals[0] == arrivals[1]
+
     def test_duplicate_address_rejected(self):
         net, subnet, nodes = build_lan(1)
         clone = Node("clone", net.scheduler)
