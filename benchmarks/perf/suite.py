@@ -242,6 +242,38 @@ def bench_chaos(quick: bool) -> Dict[str, Metric]:
     }
 
 
+def bench_explore(quick: bool) -> Dict[str, Metric]:
+    """Systematic exploration smoke: bounded joins-race search.
+
+    Doubles as the CI wiring for ``repro explore --smoke``: the
+    benchmark raises (failing the suite) if the exploration finds a
+    violating schedule or fails to exhaust its bounded space.
+    """
+    from repro.explore.engine import explore
+    from repro.explore.scenarios import get_scenario, scenario_options
+
+    scenario = get_scenario("joins-race")
+    options = scenario_options(scenario, max_decisions=4 if quick else 5)
+    t0 = time.perf_counter()
+    result = explore(scenario, options)
+    wall = time.perf_counter() - t0
+    if result.counterexample is not None:
+        raise AssertionError(
+            "exploration found a violating schedule: "
+            + result.counterexample.summary()
+        )
+    if not result.exhausted:
+        raise AssertionError("exploration did not exhaust its bounded space")
+    tag = "quick" if quick else "full"
+    return {
+        f"runs_per_sec_{tag}": _metric(result.stats.runs / wall, "runs/s"),
+        f"states_visited_{tag}": _metric(
+            result.stats.states_visited, "states"
+        ),
+        f"states_pruned_{tag}": _metric(result.stats.states_pruned, "states"),
+    }
+
+
 BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "route_lookup": bench_route_lookup,
     "recompute": bench_recompute,
@@ -249,6 +281,7 @@ BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "codec": bench_codec,
     "scale": bench_scale,
     "chaos": bench_chaos,
+    "explore": bench_explore,
 }
 
 

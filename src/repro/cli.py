@@ -315,6 +315,89 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.explore.engine import explore
+    from repro.explore.export import export_counterexample, narrative_text
+    from repro.explore.replay import ScheduleFormatError, replay_file
+    from repro.explore.scenarios import SCENARIOS, scenario_options
+    from repro.explore.shrink import shrink
+
+    if args.replay:
+        try:
+            outcome = replay_file(args.replay)
+        except (OSError, ScheduleFormatError) as exc:
+            print(f"cannot replay {args.replay}: {exc}", file=sys.stderr)
+            return 2
+        for line in outcome.narrative:
+            print(f"  {line}")
+        if outcome.violation is not None:
+            print("replay reproduced the violation", file=sys.stderr)
+            return 1
+        print("replay clean")
+        return 0
+
+    names = args.scenario or (["joins-race"] if args.smoke else sorted(SCENARIOS))
+    for name in names:
+        if name not in SCENARIOS:
+            print(
+                f"unknown scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    depth = args.depth if args.depth is not None else (5 if args.smoke else 3)
+    failed = False
+    for name in names:
+        scenario = SCENARIOS[name]
+        options = scenario_options(
+            scenario,
+            max_decisions=depth,
+            max_alternatives=args.max_alternatives,
+            drop_budget=args.drop_budget,
+            deepening=not args.no_deepening,
+        )
+        started = time.monotonic()
+        progress = None
+        if args.verbose:
+            progress = lambda runs, frontier: print(
+                f"  {name}: run {runs} (frontier {frontier})", end="\r"
+            )
+        result = explore(scenario, options, progress=progress)
+        elapsed = time.monotonic() - started
+        stats = result.stats
+        status = "ok" if result.ok else "VIOLATION"
+        print(
+            f"{name:12s} {status:9s} runs={stats.runs} "
+            f"visited={stats.states_visited} pruned={stats.states_pruned} "
+            f"depth<={depth} exhausted={'yes' if result.exhausted else 'no'} "
+            f"digest={result.visited_digest} ({elapsed:.1f}s)"
+        )
+        if result.counterexample is None:
+            continue
+        failed = True
+        counterexample = result.counterexample
+        shrunk = shrink(scenario, counterexample.schedule, options)
+        if shrunk is not None:
+            print(
+                f"  shrunk {list(counterexample.schedule)} -> "
+                f"{list(shrunk.schedule)} "
+                f"({shrunk.runs_used} replays)"
+            )
+        print(narrative_text(counterexample, shrunk), end="")
+        paths = export_counterexample(
+            args.export_dir,
+            counterexample,
+            options,
+            shrunk=shrunk,
+            note=f"repro explore --scenario {name} --depth {depth}",
+        )
+        for kind in ("schedule", "narrative", "test"):
+            print(f"  exported {kind}: {paths[kind]}")
+    return 1 if failed else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report, write_report
 
@@ -421,6 +504,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print each cell as it finishes"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    explore = sub.add_parser(
+        "explore",
+        help="systematically explore message races under the invariant oracle",
+    )
+    explore.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded smoke exploration of the joins-race scenario",
+    )
+    explore.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="explore a subset of scenarios (repeatable; default: all)",
+    )
+    explore.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="decision-depth bound (default: 3; 5 with --smoke)",
+    )
+    explore.add_argument(
+        "--drop-budget",
+        type=int,
+        default=1,
+        help="max explored message drops per run (default: 1)",
+    )
+    explore.add_argument(
+        "--max-alternatives",
+        type=int,
+        default=4,
+        help="alternatives considered per decision point (default: 4)",
+    )
+    explore.add_argument(
+        "--no-deepening",
+        action="store_true",
+        help="search only at the full depth bound (skip iterative deepening)",
+    )
+    explore.add_argument(
+        "--export-dir",
+        default="explore-artifacts",
+        help="where counterexample artefacts are written",
+    )
+    explore.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay a .schedule.json document instead of exploring",
+    )
+    explore.add_argument(
+        "--verbose", action="store_true", help="live run counter while searching"
+    )
+    explore.set_defaults(func=cmd_explore)
 
     report = sub.add_parser(
         "report", help="assemble benchmark artefacts into one markdown report"

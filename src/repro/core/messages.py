@@ -294,13 +294,19 @@ def decode_data_header(data: bytes) -> CBTDataPacket:
         raise CBTDecodeError(f"unexpected data header length {hdr_len}")
     ip_ttl = data[6]
     group, core, origin, flow_id = struct.unpack("!IIII", data[8:24])
-    return CBTDataPacket(
-        group=IPv4Address(group),
-        core=IPv4Address(core),
-        origin=IPv4Address(origin),
-        inner=data[DATA_HEADER_SIZE:],
-        on_tree=on_tree,
-        ip_ttl=ip_ttl,
-        flow_id=flow_id,
-        version=(vers_byte >> 4) & 0xF,
-    )
+    try:
+        return CBTDataPacket(
+            group=IPv4Address(group),
+            core=IPv4Address(core),
+            origin=IPv4Address(origin),
+            inner=data[DATA_HEADER_SIZE:],
+            on_tree=on_tree,
+            ip_ttl=ip_ttl,
+            flow_id=flow_id,
+            version=(vers_byte >> 4) & 0xF,
+        )
+    except ValueError as exc:
+        # A checksum-valid header can still carry an on-tree marker that
+        # is neither 0x00 nor 0xff; report it as a decode error rather
+        # than leaking the dataclass validation error.
+        raise CBTDecodeError(f"invalid data header: {exc}") from exc

@@ -278,6 +278,18 @@ class CBTProtocol:
 
     def _maybe_join(self, group: IPv4Address, interface: Interface) -> None:
         """Originate a join for ``group`` if this D-DR should (§2.5)."""
+        if group in self._quitting and self.dr_election.is_default_dr(interface):
+            # A local member appeared while our own quit is in flight.
+            # The FIB entry still exists, but the parent may already
+            # have processed the quit (or be about to when the retry
+            # lands) and dropped us — returning early here would strand
+            # the new member on a dying branch.  Mirror the
+            # new-downstream-child case: abandon the quit and
+            # re-validate the upstream path with a rejoin.
+            entry = self.fib.get(group)
+            if entry is not None:
+                self._abort_quit_for_new_child(entry)
+                return
         if group in self.fib or group in self.pending:
             return
         if not self.dr_election.is_default_dr(interface):

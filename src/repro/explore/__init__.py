@@ -1,0 +1,37 @@
+"""Systematic state-space exploration for the CBT simulator.
+
+Bounded enumeration of message-delivery orders, control-message
+drops, timer-tie orders and fault placements, with invariant +
+convergence oracles, state-hash pruning, delta-debugging shrinking,
+and replay-to-pytest export.  Entry points:
+
+* :func:`repro.explore.engine.explore` — search a scenario's space;
+* :mod:`repro.explore.scenarios` — the explorable scenario registry;
+* :mod:`repro.explore.replay` — serialise / replay schedules;
+* ``repro explore`` — the CLI verb wrapping all of the above.
+"""
+
+from repro.explore.engine import (
+    Counterexample,
+    ExploreOptions,
+    ExploreResult,
+    ExploreStats,
+    explore,
+    run_schedule,
+)
+from repro.explore.scenarios import SCENARIOS, get_scenario, scenario_options
+from repro.explore.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "Counterexample",
+    "ExploreOptions",
+    "ExploreResult",
+    "ExploreStats",
+    "SCENARIOS",
+    "ShrinkResult",
+    "explore",
+    "get_scenario",
+    "run_schedule",
+    "scenario_options",
+    "shrink",
+]

@@ -1,0 +1,99 @@
+"""Canonical state fingerprints for state-hash pruning.
+
+Two simulation states with equal fingerprints are treated as
+equivalent by the explorer: once one has been expanded, schedules
+reaching the other are not branched further.  The fingerprint captures
+the protocol-visible state of every router — FIB relationships,
+pending-join / rejoin / quit bookkeeping, live-timer flags, IGMP
+membership, interface health — plus the multiset of tagged in-flight
+deliveries.  It deliberately excludes absolute simulation time and
+datagram uids (a process-global counter), so identical explorations
+in one interpreter produce identical fingerprints.
+
+This is a *pruning heuristic*: the fingerprint does not capture every
+pending callback, so pruning can in principle skip a schedule whose
+continuation differs.  Bounded search is already incomplete by
+construction; the fingerprint trades a sliver of coverage for an
+exponential reduction in revisits, exactly as in Helmy & Estrin's
+forward search over multicast protocol states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+
+def protocol_state(name: str, protocol) -> Tuple:
+    """Canonical tuple of one router's protocol-visible state."""
+    fib_part = tuple(
+        (
+            str(entry.group),
+            str(entry.parent_address) if entry.has_parent else "-",
+            tuple(sorted(str(child) for child in entry.children)),
+        )
+        for entry in protocol.fib.entries()
+    )
+    pending_part = tuple(
+        (
+            str(group),
+            str(pend.target_core),
+            pend.retransmissions,
+            pend.core_index,
+            len(pend.cached),
+            pend.originated_here,
+            bool(pend.retransmit_timer is not None and pend.retransmit_timer.pending),
+            bool(pend.expiry_timer is not None and pend.expiry_timer.pending),
+        )
+        for group, pend in sorted(protocol.pending.items(), key=lambda kv: int(kv[0]))
+    )
+    rejoin_part = tuple(
+        (str(group), attempt.core_index, attempt.attempts)
+        for group, attempt in sorted(
+            protocol.rejoins.items(), key=lambda kv: int(kv[0])
+        )
+    )
+    quit_timers = getattr(protocol, "_quit_timers", {})
+    quit_part = tuple(
+        (
+            str(group),
+            retries,
+            bool(
+                quit_timers.get(group) is not None
+                and quit_timers[group].pending
+            ),
+        )
+        for group, retries in sorted(
+            protocol._quitting.items(), key=lambda kv: int(kv[0])
+        )
+    )
+    igmp_part = tuple(
+        (
+            interface.vif,
+            interface.up,
+            tuple(
+                sorted(
+                    str(group)
+                    for group in protocol.igmp.database.groups_on(interface)
+                )
+            ),
+        )
+        for interface in protocol.router.interfaces
+    )
+    return (name, fib_part, pending_part, rejoin_part, quit_part, igmp_part)
+
+
+def inflight_state(scheduler) -> Tuple:
+    """Multiset of tagged pending events, uid component stripped."""
+    return tuple(sorted(tag[:-1] for tag in scheduler.pending_tags()))
+
+
+def domain_fingerprint(domain) -> str:
+    """Stable hash of the whole domain's protocol-visible state."""
+    parts: List[Tuple] = [
+        protocol_state(name, domain.protocols[name])
+        for name in sorted(domain.protocols)
+    ]
+    parts.append(inflight_state(domain.network.scheduler))
+    digest = hashlib.sha1(repr(parts).encode()).hexdigest()
+    return digest[:16]

@@ -1,0 +1,120 @@
+"""Schedule serialisation and exact replay.
+
+A counterexample (or any schedule of interest) is serialised as a
+small JSON document — the *schedule format* — that pins everything a
+later process needs to reproduce the run bit-for-bit: scenario name,
+exploration options, and the choice indices.  Because the simulator
+is deterministic and scenarios rebuild their world from scratch, a
+loaded schedule replays the identical run on any machine.
+
+Format (``repro-explore-schedule/1``)::
+
+    {
+      "format": "repro-explore-schedule/1",
+      "scenario": "quit-race",
+      "options": { ... ExploreOptions fields ... },
+      "schedule": [0, 2, 1],
+      "expect": "clean" | "violation",
+      "note": "free-form provenance"
+    }
+
+``expect`` is what the *pinned* behaviour is: regression schedules
+exported after a fix carry ``"clean"`` (replaying them must produce
+no violation); freshly exported counterexamples carry
+``"violation"`` until the underlying bug is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.explore.engine import ExploreOptions, RunOutcome, run_schedule
+from repro.explore.scenarios import get_scenario
+
+FORMAT = "repro-explore-schedule/1"
+
+
+class ScheduleFormatError(ValueError):
+    """Raised when a schedule document is malformed."""
+
+
+def schedule_payload(
+    scenario_name: str,
+    options: ExploreOptions,
+    schedule: Tuple[int, ...],
+    expect: str = "violation",
+    note: str = "",
+) -> Dict[str, object]:
+    """Build the JSON-serialisable schedule document."""
+    if expect not in ("clean", "violation"):
+        raise ValueError(f"expect must be 'clean' or 'violation', got {expect!r}")
+    return {
+        "format": FORMAT,
+        "scenario": scenario_name,
+        "options": options.to_dict(),
+        "schedule": list(schedule),
+        "expect": expect,
+        "note": note,
+    }
+
+
+def dump_schedule(payload: Dict[str, object]) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def load_schedule(text: str) -> Dict[str, object]:
+    """Parse and validate a schedule document."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ScheduleFormatError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ScheduleFormatError("schedule document must be a JSON object")
+    if payload.get("format") != FORMAT:
+        raise ScheduleFormatError(
+            f"unknown format {payload.get('format')!r}; expected {FORMAT!r}"
+        )
+    for key in ("scenario", "options", "schedule"):
+        if key not in payload:
+            raise ScheduleFormatError(f"missing required key {key!r}")
+    schedule = payload["schedule"]
+    if not isinstance(schedule, list) or not all(
+        isinstance(value, int) and value >= 0 for value in schedule
+    ):
+        raise ScheduleFormatError("schedule must be a list of non-negative ints")
+    return payload
+
+
+def replay_payload(payload: Dict[str, object]) -> RunOutcome:
+    """Replay a schedule document; returns the (deterministic) outcome."""
+    scenario = get_scenario(str(payload["scenario"]))
+    options = ExploreOptions.from_dict(dict(payload["options"]))
+    schedule = tuple(int(value) for value in payload["schedule"])
+    limit = max(len(schedule), options.max_decisions)
+    return run_schedule(scenario, schedule, options, limit=limit)
+
+
+def replay_file(path: str) -> RunOutcome:
+    """Load a schedule document from ``path`` and replay it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = load_schedule(handle.read())
+    return replay_payload(payload)
+
+
+def verify_payload(payload: Dict[str, object]) -> Optional[str]:
+    """Replay and compare against the document's ``expect`` pin.
+
+    Returns None when behaviour matches, else a human-readable
+    mismatch description (used by generated regression tests).
+    """
+    outcome = replay_payload(payload)
+    expect = payload.get("expect", "clean")
+    if expect == "clean" and outcome.violation is not None:
+        return (
+            "schedule pinned as clean now violates:\n"
+            + outcome.violation.describe()
+        )
+    if expect == "violation" and outcome.violation is None:
+        return "schedule pinned as violating now replays clean"
+    return None

@@ -1,0 +1,239 @@
+"""Exploration scenarios: small, deterministic Figure-1 set-ups whose
+interesting concurrency lives inside a short *window* the explorer
+branches over.
+
+Each scenario stands the domain up (started protocols, elections
+settled, optional pre-joined members — all outside the explored
+window, with defaults, so every run starts from the identical state),
+then hands the explorer a list of same-instant *actions* (joins,
+leaves) whose message races the search enumerates.  After the window
+the run settles with no interference and the convergence oracle is
+applied against ``members``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.bootstrap import CBTDomain
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, SETTLE_TIME
+from repro.netsim.address import group_address
+from repro.netsim.faults import LinkFlap, NodeOutage
+from repro.topology.builder import Network
+from repro.topology.figures import build_figure1
+
+
+@dataclass
+class ExploreWorld:
+    """One freshly built simulation ready for a controlled window."""
+
+    network: Network
+    domain: CBTDomain
+    group: IPv4Address
+    #: Hosts expected to be served members once everything settles.
+    members: List[str]
+    #: ``(offset_from_window_start, action)`` pairs the runner schedules.
+    actions: List[Tuple[float, Callable[[], None]]]
+
+
+@dataclass(frozen=True)
+class ExploreScenario:
+    """A named, explorable situation."""
+
+    name: str
+    description: str
+    build: Callable[[], ExploreWorld]
+    #: Seconds of controlled (explored) simulation after activation.
+    window: float
+    #: Additional uncontrolled seconds before the convergence oracle.
+    settle: float
+    #: Message types eligible for drop decisions (None = engine default).
+    gate_types: Optional[Tuple[str, ...]] = None
+    #: Candidate faults offered as the first decision (index 0 = none).
+    fault_candidates: Optional[
+        Callable[[ExploreWorld], List[Tuple[str, Callable[[], None]]]]
+    ] = None
+    #: Hard loop check per transition (off when faults legitimise
+    #: transient §6.3 loops mid-window).
+    check_loops: bool = True
+    #: Extra end-state findings (strings), mainly for tests.
+    extra_oracle: Optional[Callable[[ExploreWorld], List[str]]] = None
+
+
+def _stand_up(pre_members: List[str]) -> Tuple[Network, CBTDomain, IPv4Address]:
+    """Figure-1 domain with elections settled and ``pre_members`` joined
+    (staggered, defaults, outside the explored window)."""
+    network = build_figure1()
+    domain = CBTDomain(network, timers=FAST_TIMERS, igmp_config=FAST_IGMP)
+    domain.start()
+    network.run(until=SETTLE_TIME)
+    group = group_address(0)
+    domain.create_group(group, cores=["R4", "R9"])
+    if pre_members:
+        start = network.scheduler.now
+        for index, member in enumerate(pre_members):
+            network.scheduler.call_at(
+                start + index * 0.05, _join(domain, member, group)
+            )
+        network.run(until=start + len(pre_members) * 0.05 + 2.0)
+    return network, domain, group
+
+
+def _join(domain: CBTDomain, member: str, group: IPv4Address):
+    return lambda: domain.join_host(member, group)
+
+
+def _leave(domain: CBTDomain, member: str, group: IPv4Address):
+    return lambda: domain.leave_host(member, group)
+
+
+def _build_joins_race() -> ExploreWorld:
+    network, domain, group = _stand_up([])
+    actions = [
+        (0.0, _join(domain, member, group)) for member in ("A", "G", "H")
+    ]
+    return ExploreWorld(network, domain, group, ["A", "G", "H"], actions)
+
+
+def _build_quit_race() -> ExploreWorld:
+    # H leaves at t+0; IGMP membership expiry takes ~4.02s, after which
+    # R10 sends QUIT_REQUEST toward R9.  J joins through the same R10
+    # at t+4.03 so its membership report lands while the QUIT handshake
+    # is in flight — the §5.3 race the explorer then perturbs
+    # (orderings, QUIT/JOIN drops).
+    network, domain, group = _stand_up(["A", "B", "H"])
+    actions = [
+        (0.0, _leave(domain, "H", group)),
+        (4.03, _join(domain, "J", group)),
+    ]
+    return ExploreWorld(network, domain, group, ["A", "B", "J"], actions)
+
+
+def _build_lan_proxy() -> ExploreWorld:
+    network, domain, group = _stand_up(["A"])
+    actions = [
+        (0.0, _join(domain, "B", group)),
+        (0.0, _join(domain, "E", group)),
+    ]
+    return ExploreWorld(network, domain, group, ["A", "B", "E"], actions)
+
+
+def _build_flap_join() -> ExploreWorld:
+    network, domain, group = _stand_up(["A", "H"])
+    actions = [(0.1, _join(domain, "E", group))]
+    return ExploreWorld(network, domain, group, ["A", "H", "E"], actions)
+
+
+def _flap_join_faults(
+    world: ExploreWorld,
+) -> List[Tuple[str, Callable[[], None]]]:
+    """One short fault on/near E's join path (R7 -> R4): flap the join
+    link, flap the established-tree link, or crash the joining DR."""
+    now = world.network.scheduler.now
+    events = [
+        LinkFlap(at=now + 0.3, link="L_R4_R7", duration=0.8),
+        LinkFlap(at=now + 0.3, link="L_R3_R4", duration=0.8),
+        NodeOutage(at=now + 0.3, node="R7", duration=0.8),
+    ]
+
+    def _apply(event) -> Callable[[], None]:
+        def apply() -> None:
+            # Tag the pending fault actions: they must show up in the
+            # in-flight fingerprint, or the explorer would prune the
+            # fault subtree as identical to the no-fault run before
+            # the fault ever fires (its effect is delayed).
+            for at_time, desc, action in event.actions(world.network):
+                world.network.scheduler.call_at(
+                    at_time, action, tag=("fault", desc, 0)
+                )
+
+        return apply
+
+    return [
+        (event.actions(world.network)[0][1], _apply(event)) for event in events
+    ]
+
+
+#: Registry consulted by the CLI and by schedule replay.
+SCENARIOS: Dict[str, ExploreScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ExploreScenario(
+            name="joins-race",
+            description=(
+                "Hosts A, G and H join at the same instant from three "
+                "corners of Figure 1; explores delivery order and loss "
+                "of the racing JOIN_REQUEST / JOIN_ACK handshakes."
+            ),
+            build=_build_joins_race,
+            window=4.0,
+            settle=9.0,
+            gate_types=("JOIN_REQUEST", "JOIN_ACK"),
+        ),
+        ExploreScenario(
+            name="quit-race",
+            description=(
+                "H leaves while J joins through the same routers "
+                "(R10/R9); explores the §5.3 QUIT vs JOIN race and "
+                "loss of QUIT_REQUEST / QUIT_ACK (the PR-2 stale "
+                "quit-retry class)."
+            ),
+            build=_build_quit_race,
+            window=5.5,
+            settle=9.0,
+            gate_types=(
+                "JOIN_REQUEST",
+                "JOIN_ACK",
+                "QUIT_REQUEST",
+                "QUIT_ACK",
+            ),
+        ),
+        ExploreScenario(
+            name="lan-proxy",
+            description=(
+                "B joins on the multi-router LAN S4 (R2/R5/R6 "
+                "proxy-ack machinery) while E joins elsewhere; "
+                "explores JOIN delivery order and loss on the shared "
+                "LAN (the PR-2 proxy-ack class)."
+            ),
+            build=_build_lan_proxy,
+            window=4.0,
+            settle=9.0,
+            gate_types=("JOIN_REQUEST", "JOIN_ACK"),
+        ),
+        ExploreScenario(
+            name="flap-join",
+            description=(
+                "E joins while one short fault is placed as an "
+                "explored choice: flap the join-path link, flap an "
+                "established tree link, or crash the joining DR."
+            ),
+            build=_build_flap_join,
+            window=6.0,
+            settle=12.0,
+            gate_types=("JOIN_REQUEST", "JOIN_ACK"),
+            fault_candidates=_flap_join_faults,
+            check_loops=False,
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ExploreScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+
+
+def scenario_options(scenario: ExploreScenario, **overrides):
+    """Build :class:`~repro.explore.engine.ExploreOptions` seeded with
+    the scenario's gate types; ``overrides`` win."""
+    from repro.explore.engine import ExploreOptions
+
+    if scenario.gate_types is not None:
+        overrides.setdefault("gate_types", scenario.gate_types)
+    return ExploreOptions(**overrides)

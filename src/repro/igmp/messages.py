@@ -184,11 +184,17 @@ def decode_igmp(data: bytes) -> IGMPMessage:
             IPv4Address(struct.unpack("!I", data[12 + 4 * i : 16 + 4 * i])[0])
             for i in range(count)
         )
-        return CoreReport(
-            group=IPv4Address(group_raw),
-            cores=cores,
-            target_core=target,
-            code=code,
-            version=version,
-        )
+        try:
+            return CoreReport(
+                group=IPv4Address(group_raw),
+                cores=cores,
+                target_core=target,
+                code=code,
+                version=version,
+            )
+        except ValueError as exc:
+            # Checksum-valid bytes can still carry an inconsistent core
+            # list (count=0, target index past the list); surface those
+            # as decode errors, not dataclass validation errors.
+            raise IGMPDecodeError(f"invalid core report: {exc}") from exc
     raise IGMPDecodeError(f"unknown IGMP type 0x{msg_type:02x}")

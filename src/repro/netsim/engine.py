@@ -18,6 +18,19 @@ Performance notes (see docs/PERFORMANCE.md):
   entries are totally ordered by the unique ``(time, seq)`` key, so a
   re-heapified queue pops in exactly the same sequence.
 * ``pending_events`` is a live counter, not an O(n) scan.
+
+Choice-point hook layer (systematic exploration):
+
+Events scheduled for the same instant normally fire in FIFO order.
+Installing a ``choice_hook`` hands that tie-breaking decision to an
+external resolver: before firing, the scheduler gathers every pending
+event with the head timestamp (the *tie group*) and asks the hook
+which fires first.  The state-space explorer (:mod:`repro.explore`)
+uses this to enumerate message-delivery and timer-firing orders; with
+no hook installed the fast path is a single attribute check.  Events
+may carry an optional ``tag`` describing what firing them means
+(links tag deliveries) so resolvers can tell deliveries from opaque
+timer callbacks.
 """
 
 from __future__ import annotations
@@ -36,13 +49,16 @@ class SchedulerError(Exception):
 
 
 class _Event:
-    __slots__ = ("time", "callback", "cancelled", "fired")
+    __slots__ = ("time", "callback", "cancelled", "fired", "tag")
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self, time: float, callback: Callable[[], None], tag: Optional[Tuple] = None
+    ) -> None:
         self.time = time
         self.callback = callback
         self.cancelled = False
         self.fired = False
+        self.tag = tag
 
 
 class Timer:
@@ -96,6 +112,14 @@ class Scheduler:
         self._events_processed = 0
         self._pending = 0
         self._cancelled_in_heap = 0
+        #: When set, same-instant tie groups of size >= 2 are resolved
+        #: by this callable instead of FIFO order.  It receives
+        #: ``(time, [tag, ...])`` — one entry per tied event, in FIFO
+        #: order, ``None`` for untagged events — and returns the index
+        #: of the event to fire first.  Remaining tied events re-enter
+        #: the queue unchanged, so the resolver is asked again until
+        #: the group drains (enumerating a full ordering).
+        self.choice_hook: Optional[Callable[[float, List[Optional[Tuple]]], int]] = None
 
     @property
     def now(self) -> float:
@@ -112,22 +136,40 @@ class Scheduler:
         """Number of not-yet-fired, not-cancelled events in the queue."""
         return self._pending
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        tag: Optional[Tuple] = None,
+    ) -> Timer:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SchedulerError(f"cannot schedule {delay}s in the past")
-        return self.call_at(self._now + delay, callback)
+        return self.call_at(self._now + delay, callback, tag=tag)
 
-    def call_at(self, time: float, callback: Callable[[], None]) -> Timer:
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        tag: Optional[Tuple] = None,
+    ) -> Timer:
         """Schedule ``callback`` to run at absolute simulation ``time``."""
         if time < self._now:
             raise SchedulerError(
                 f"cannot schedule at t={time}; current time is t={self._now}"
             )
-        event = _Event(time, callback)
+        event = _Event(time, callback, tag)
         heapq.heappush(self._queue, (time, next(self._seq), event))
         self._pending += 1
         return Timer(self, event)
+
+    def pending_tags(self) -> List[Tuple]:
+        """Sorted tags of pending tagged events (exploration fingerprints)."""
+        return sorted(
+            entry[2].tag
+            for entry in self._queue
+            if entry[2].tag is not None and not entry[2].cancelled
+        )
 
     def _cancel(self, event: _Event) -> None:
         """Mark an event cancelled and compact the heap when it's mostly dead."""
@@ -163,7 +205,10 @@ class Scheduler:
                 continue
             if until is not None and time > until:
                 break
-            heappop(queue)
+            if self.choice_hook is not None:
+                event = self._pop_tied(time)
+            else:
+                heappop(queue)
             event.fired = True
             self._pending -= 1
             self._now = time
@@ -178,6 +223,33 @@ class Scheduler:
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    def _pop_tied(self, time: float) -> _Event:
+        """Remove and return the event to fire at ``time``, consulting
+        ``choice_hook`` when several pending events tie at that instant.
+
+        The unchosen events keep their original ``(time, seq)`` keys,
+        so FIFO order among them is preserved for the next round.
+        """
+        tied: List[Tuple[float, int, _Event]] = []
+        queue = self._queue
+        while queue and queue[0][0] == time:
+            entry = heapq.heappop(queue)
+            if entry[2].cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            tied.append(entry)
+        if len(tied) == 1:
+            return tied[0][2]
+        index = self.choice_hook(time, [entry[2].tag for entry in tied])
+        if not 0 <= index < len(tied):
+            raise SchedulerError(
+                f"choice hook returned {index} for a tie of {len(tied)}"
+            )
+        chosen = tied.pop(index)
+        for entry in tied:
+            heapq.heappush(queue, entry)
+        return chosen[2]
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
         """Run until no events remain; returns the final simulation time."""

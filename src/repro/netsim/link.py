@@ -12,7 +12,7 @@ for forwarding purposes (§5).
 from __future__ import annotations
 
 from ipaddress import IPv4Address, IPv4Network
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.netsim.engine import Scheduler
 from repro.netsim.nic import Interface
@@ -63,6 +63,13 @@ class Link:
         #: Must be deterministic for replayable runs — see
         #: :class:`repro.netsim.faults.SeededJitter`.
         self.jitter = jitter
+        #: Optional delivery gate for systematic exploration: called as
+        #: ``gate(link, sender, datagram)`` before the wire is touched;
+        #: returning False drops the datagram as an explored choice
+        #: (recorded as a ``gate`` drop).  Unlike ``loss`` this is a
+        #: *decision point*, not a random process — the explorer
+        #: installs one to enumerate deliver/drop branches.
+        self.gate: Optional[Callable[["Link", Interface, IPDatagram], bool]] = None
         #: Optional capacity: transmissions serialise at this rate and
         #: queue FIFO behind one another (None = infinite capacity).
         self.bandwidth_bps = bandwidth_bps
@@ -133,6 +140,9 @@ class Link:
         if not self.up:
             self._record("drop", sender, datagram, note="link down")
             return
+        if self.gate is not None and not self.gate(self, sender, datagram):
+            self._record("drop", sender, datagram, note="gate")
+            return
         if self.loss is not None and self.loss(datagram):
             self._record("drop", sender, datagram, note="loss")
             return
@@ -164,9 +174,12 @@ class Link:
             extra_delay = (start - now) + serialisation
         if self.jitter is not None:
             extra_delay += self.jitter(datagram)
+        tagging = self.scheduler.choice_hook is not None
         for receiver in receivers:
             self.scheduler.call_later(
-                self.delay + extra_delay, _make_delivery(self, receiver, datagram)
+                self.delay + extra_delay,
+                _make_delivery(self, receiver, datagram),
+                tag=delivery_tag(self, receiver, datagram) if tagging else None,
             )
 
     def deliver(self, receiver: Interface, datagram: IPDatagram) -> None:
@@ -200,6 +213,37 @@ class Link:
 def _make_delivery(link: Link, receiver: Interface, datagram: IPDatagram) -> Callable[[], None]:
     """Bind loop variables for the delayed delivery callback."""
     return lambda: link.deliver(receiver, datagram)
+
+
+def describe_payload(datagram: IPDatagram) -> str:
+    """Short protocol-aware label for a datagram (duck-typed so netsim
+    needs no knowledge of the CBT/IGMP message classes)."""
+    payload = datagram.payload
+    inner = getattr(payload, "payload", payload)
+    msg_type = getattr(inner, "msg_type", None)
+    name = getattr(msg_type, "name", None)
+    if name is not None:
+        return name
+    type_name = type(inner).__name__
+    if type_name not in ("bytes", "NoneType", "str"):
+        return type_name
+    return f"proto{datagram.proto}"
+
+
+def delivery_tag(
+    link: Link, receiver: Interface, datagram: IPDatagram
+) -> Tuple[str, str, str, str, int]:
+    """Choice-point tag for a scheduled delivery: what the explorer (and
+    narrative) see when this event ties with others.  Carries the
+    datagram uid so resolvers can recognise pure broadcast fan-out of a
+    single transmission."""
+    return (
+        "deliver",
+        describe_payload(datagram),
+        link.name,
+        receiver.node.name,
+        datagram.uid,
+    )
 
 
 class Subnet(Link):

@@ -1,0 +1,90 @@
+"""Golden-schedule regression tests.
+
+Each ``tests/schedules/*.schedule.json`` document pins a minimal
+adversarial schedule through the replay format:
+
+* ``quit_race_drop_quit`` — drop R10's QUIT_REQUEST exactly when J
+  joins through the quitting branch.  Found by the explorer as a real
+  stranded-member counterexample; pins the fix (a quitting router
+  must abort its quit when a new local member appears).
+* ``lan_proxy_drop_join`` — drop the first JOIN_REQUEST on the
+  multi-router LAN S4; pins the proxy-ack machinery surviving a lost
+  LAN join.
+
+Replaying is exact (deterministic simulator + recorded options), so
+these act as microscopic regression tests for the PR-2 race fixes —
+and as proof the exporter's format round-trips.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.explore.replay import load_schedule, replay_payload, verify_payload
+
+SCHEDULE_DIR = os.path.join(os.path.dirname(__file__), "schedules")
+SCHEDULE_FILES = sorted(glob.glob(os.path.join(SCHEDULE_DIR, "*.schedule.json")))
+
+
+def _load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_schedule(handle.read())
+
+
+def test_golden_schedules_exist():
+    names = {os.path.basename(path) for path in SCHEDULE_FILES}
+    assert "quit_race_drop_quit.schedule.json" in names
+    assert "lan_proxy_drop_join.schedule.json" in names
+
+
+@pytest.mark.parametrize(
+    "path", SCHEDULE_FILES, ids=[os.path.basename(p) for p in SCHEDULE_FILES]
+)
+def test_golden_schedule_replays_as_pinned(path):
+    payload = _load(path)
+    mismatch = verify_payload(payload)
+    assert mismatch is None, f"{os.path.basename(path)}: {mismatch}"
+
+
+def test_quit_race_schedule_actually_drops_the_quit():
+    payload = _load(
+        os.path.join(SCHEDULE_DIR, "quit_race_drop_quit.schedule.json")
+    )
+    outcome = replay_payload(payload)
+    assert outcome.violation is None
+    dropped = [
+        decision
+        for decision in outcome.decisions
+        if decision.kind == "drop" and decision.chosen == 1
+    ]
+    assert len(dropped) == 1
+    assert "QUIT_REQUEST" in dropped[0].labels[dropped[0].chosen]
+
+
+def test_lan_proxy_schedule_actually_drops_the_lan_join():
+    payload = _load(
+        os.path.join(SCHEDULE_DIR, "lan_proxy_drop_join.schedule.json")
+    )
+    outcome = replay_payload(payload)
+    assert outcome.violation is None
+    dropped = [
+        decision
+        for decision in outcome.decisions
+        if decision.kind == "drop" and decision.chosen == 1
+    ]
+    assert len(dropped) == 1
+    label = dropped[0].labels[dropped[0].chosen]
+    assert "JOIN_REQUEST" in label and "S4" in label
+
+
+def test_golden_replay_is_reproducible():
+    payload = _load(
+        os.path.join(SCHEDULE_DIR, "quit_race_drop_quit.schedule.json")
+    )
+    first = replay_payload(payload)
+    second = replay_payload(payload)
+    assert first.chosen() == second.chosen()
+    assert first.fingerprints == second.fingerprints
