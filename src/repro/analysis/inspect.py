@@ -12,6 +12,7 @@ from repro.netsim.packet import (
     PROTO_UDP,
 )
 from repro.netsim.trace import PacketTrace
+from repro.telemetry import PacketEvent
 
 _PROTO_NAMES = {
     PROTO_IGMP: "igmp",
@@ -60,15 +61,21 @@ def packet_log(
 
 
 def trace_summary(trace: PacketTrace, top_links: int = 10) -> str:
-    """Per-protocol and per-link transmission counts plus drop census."""
+    """Per-protocol and per-link transmission counts plus drop census.
+
+    Works over the typed :class:`repro.telemetry.PacketEvent` view of
+    the trace — the same records ``repro trace`` exports as JSONL — so
+    the human summary and the machine stream cannot drift apart.
+    """
+    transmissions = [PacketEvent.from_trace_record(r) for r in trace.transmissions()]
     by_proto: Dict[str, int] = {}
     bytes_by_proto: Dict[str, int] = {}
-    for record in trace.transmissions():
-        name = _PROTO_NAMES.get(record.datagram.proto, str(record.datagram.proto))
+    link_counts: Dict[str, int] = {}
+    for event in transmissions:
+        name = _PROTO_NAMES.get(event.proto, str(event.proto))
         by_proto[name] = by_proto.get(name, 0) + 1
-        bytes_by_proto[name] = (
-            bytes_by_proto.get(name, 0) + record.datagram.size_bytes()
-        )
+        bytes_by_proto[name] = bytes_by_proto.get(name, 0) + event.size
+        link_counts[event.link] = link_counts.get(event.link, 0) + 1
     proto_rows = [
         (name, by_proto[name], bytes_by_proto[name])
         for name in sorted(by_proto, key=lambda n: -by_proto[n])
@@ -81,7 +88,6 @@ def trace_summary(trace: PacketTrace, top_links: int = 10) -> str:
         )
     ]
 
-    link_counts = trace.link_tx_counts()
     busiest = sorted(link_counts.items(), key=lambda kv: -kv[1])[:top_links]
     sections.append(
         format_table(
@@ -93,7 +99,8 @@ def trace_summary(trace: PacketTrace, top_links: int = 10) -> str:
 
     drops: Dict[str, int] = {}
     for record in trace.drops():
-        reason = record.note or "unspecified"
+        event = PacketEvent.from_trace_record(record)
+        reason = event.note or "unspecified"
         drops[reason] = drops.get(reason, 0) + 1
     if drops:
         sections.append(

@@ -8,7 +8,9 @@ Commands:
 * ``compare``      — CBT vs DVMRP state/overhead on a random topology;
 * ``topology``     — generate a topology, build a group, show the tree;
 * ``experiments``  — list the experiment index (benchmarks);
-* ``bench``        — run the perf-regression suite (``BENCH_*.json``).
+* ``bench``        — run the perf-regression suite (``BENCH_*.json``);
+* ``stats``        — metrics-registry snapshot after the Figure-1 run;
+* ``trace``        — structured trace records (``repro-trace/1`` JSONL).
 """
 
 from __future__ import annotations
@@ -49,7 +51,12 @@ EXPERIMENTS = [
 ]
 
 
-def cmd_walkthrough(args: argparse.Namespace) -> int:
+def _run_figure1(all_members: bool = False):
+    """Build and run the Figure-1 walkthrough scenario.
+
+    Shared by ``walkthrough``, ``stats``, and ``trace`` so all three
+    verbs observe the exact same simulation.
+    """
     from repro.topology.figures import FIGURE1_MEMBERS
 
     net = build_figure1()
@@ -58,7 +65,7 @@ def cmd_walkthrough(args: argparse.Namespace) -> int:
     domain.create_group(group, cores=["R4", "R9"])
     domain.start()
     net.run(until=3.0)
-    members = FIGURE1_MEMBERS if args.all_members else ["A", "B", "G", "H"]
+    members = FIGURE1_MEMBERS if all_members else ["A", "B", "G", "H"]
     start = net.scheduler.now
     for index, member in enumerate(members):
         net.scheduler.call_at(
@@ -66,6 +73,11 @@ def cmd_walkthrough(args: argparse.Namespace) -> int:
             (lambda m: (lambda: domain.join_host(m, group)))(member),
         )
     net.run(until=start + 4.0)
+    return net, domain, group, members
+
+
+def cmd_walkthrough(args: argparse.Namespace) -> int:
+    net, domain, group, members = _run_figure1(args.all_members)
     print(render_topology(net))
     print()
     print(render_tree(domain, group))
@@ -398,6 +410,71 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Metrics-registry snapshot after the Figure-1 walkthrough run."""
+    import json as _json
+    from fnmatch import fnmatchcase
+
+    from repro.harness.formatting import format_table
+
+    net, _domain, _group, _members = _run_figure1(args.all_members)
+    snapshot = net.telemetry.registry.snapshot()
+    if args.match:
+        snapshot = {
+            name: value
+            for name, value in snapshot.items()
+            if fnmatchcase(name, args.match)
+        }
+    if args.json:
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [name, f"{value:g}"] for name, value in sorted(snapshot.items())
+    ]
+    if not rows:
+        print("(no matching instruments)")
+        return 0
+    print(
+        format_table(
+            ["instrument", "value"],
+            rows,
+            title=f"telemetry snapshot ({len(rows)} instruments)",
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Structured trace records from the Figure-1 walkthrough run."""
+    from repro.telemetry import dump_jsonl
+
+    net, _domain, _group, _members = _run_figure1(args.all_members)
+    records = net.telemetry.bus.records(args.type)
+    if args.jsonl is not None:
+        if args.jsonl == "-":
+            count = dump_jsonl(records, sys.stdout)
+        else:
+            with open(args.jsonl, "w", encoding="utf-8") as fh:
+                count = dump_jsonl(records, fh)
+            print(f"wrote {count} records to {args.jsonl}")
+        return 0
+    shown = records if args.limit <= 0 else records[: args.limit]
+    for record in shown:
+        payload = record.to_payload()
+        payload.pop("time", None)
+        detail = " ".join(
+            f"{key}={value}"
+            for key, value in payload.items()
+            if value not in ("", None)
+        )
+        print(f"t={record.time:9.4f}s {record.RECORD_TYPE:10s} {detail}")
+    if len(records) > len(shown):
+        print(f"... {len(records) - len(shown)} more records (use --limit 0)")
+    if not records:
+        print("(no records)")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import build_report, write_report
 
@@ -557,6 +634,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="live run counter while searching"
     )
     explore.set_defaults(func=cmd_explore)
+
+    stats = sub.add_parser(
+        "stats",
+        help="metrics-registry snapshot after the Figure-1 walkthrough run",
+    )
+    stats.add_argument(
+        "--all-members", action="store_true", help="join every Figure-1 host"
+    )
+    stats.add_argument(
+        "--match",
+        metavar="PATTERN",
+        help="shell-style instrument-name filter (e.g. 'cbt.router.R4.*')",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit a sorted JSON object"
+    )
+    stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="structured trace records from the Figure-1 walkthrough run",
+    )
+    trace.add_argument(
+        "--all-members", action="store_true", help="join every Figure-1 host"
+    )
+    trace.add_argument(
+        "--type",
+        choices=["protocol", "packet", "membership", "fault"],
+        default=None,
+        help="restrict to one record type",
+    )
+    trace.add_argument(
+        "--jsonl",
+        metavar="OUT",
+        help="write a repro-trace/1 JSONL stream to OUT ('-' for stdout)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=50,
+        help="max records in human-readable mode (0 = unlimited)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     report = sub.add_parser(
         "report", help="assemble benchmark artefacts into one markdown report"

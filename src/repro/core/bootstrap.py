@@ -85,6 +85,7 @@ class CBTDomain:
         hosts: Optional[Sequence[str]] = None,
     ) -> None:
         self.network = network
+        self.telemetry = network.scheduler.telemetry
         self.coordinator = GroupCoordinator()
         self.protocols: Dict[str, CBTProtocol] = {}
         self.host_agents: Dict[str, IGMPHostAgent] = {}
@@ -170,6 +171,28 @@ class CBTDomain:
         return sum(p.fib.total_state() for p in self.protocols.values())
 
     def control_messages_sent(self, exclude_hello: bool = True) -> int:
+        """Total CBT control messages sent domain-wide, from the registry.
+
+        Derived from the ``cbt.router.<name>.tx.*`` counters so every
+        consumer (campaign control-cost, E2 overhead, ``repro stats``)
+        reads the same numbers.  :meth:`control_messages_sent_legacy`
+        keeps the historical per-protocol summation for agreement tests.
+        """
+        registry = self.telemetry.registry
+        total = 0
+        for name in self.protocols:
+            prefix = f"cbt.router.{name}.tx."
+            total += registry.total(prefix + "*")
+            if exclude_hello:
+                total -= registry.value(prefix + "hello")
+        return int(total)
+
+    def control_messages_sent_legacy(self, exclude_hello: bool = True) -> int:
+        """Historical code path: sum each protocol's ControlStats.
+
+        Retained so tests can pin that the registry-derived count and
+        the stats-derived count agree (the double-counting guard).
+        """
         return sum(
             p.stats.total_sent(exclude_hello=exclude_hello)
             for p in self.protocols.values()

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from ipaddress import IPv4Address
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.telemetry import Counter, NULL_COUNTER
+
 
 @dataclass
 class FIBEntry:
@@ -77,10 +79,22 @@ class FIBEntry:
 
 
 class FIB:
-    """All of one router's group entries."""
+    """All of one router's group entries.
+
+    Entry creation/removal is counted against telemetry counters bound
+    via :meth:`bind_counters`, so ``adds - removes == len(fib)`` is a
+    checkable conservation law.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[IPv4Address, FIBEntry] = {}
+        self._adds: Counter = NULL_COUNTER
+        self._removes: Counter = NULL_COUNTER
+
+    def bind_counters(self, adds: Counter, removes: Counter) -> None:
+        """Attach add/remove counters (the owning protocol does this)."""
+        self._adds = adds
+        self._removes = removes
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -99,10 +113,12 @@ class FIB:
         if entry is None:
             entry = FIBEntry(group=group)
             self._entries[group] = entry
+            self._adds.inc()
         return entry
 
     def remove(self, group: IPv4Address) -> None:
-        self._entries.pop(group, None)
+        if self._entries.pop(group, None) is not None:
+            self._removes.inc()
 
     def groups(self) -> List[IPv4Address]:
         return sorted(self._entries, key=int)

@@ -67,6 +67,11 @@ def router_mib(protocol: CBTProtocol) -> Dict[str, Any]:
             },
         },
         "events": len(protocol.events),
+        # Raw registry counters for this router (empty when telemetry
+        # is disabled) — the machine-readable face of everything above.
+        "counters": protocol.telemetry.registry.matching(
+            f"cbt.router.{protocol.router.name}.*"
+        ),
     }
 
 
@@ -86,5 +91,11 @@ def domain_mib(domain) -> Dict[str, Any]:
             "member_deliveries": sum(
                 r["data_plane"]["member_deliveries"] for r in routers.values()
             ),
+            "wire_packets": int(domain.telemetry.registry.total(
+                "netsim.link.*.tx_packets"
+            )),
+            "wire_bytes": int(domain.telemetry.registry.total(
+                "netsim.link.*.tx_bytes"
+            )),
         },
     }

@@ -20,7 +20,6 @@ Data-plane behaviour (§4, §5, §7) lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from ipaddress import IPv4Address
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -52,24 +51,67 @@ from repro.netsim.engine import PeriodicTimer, Timer
 from repro.netsim.nic import Interface
 from repro.netsim.node import Node
 from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IPIP, PROTO_UDP, make_udp
+from repro.telemetry import Counter, EventLog, MetricsRegistry, ProtocolEvent
 
 _ANY_GROUP = IPv4Address("0.0.0.0")
 
 
-@dataclass
 class ControlStats:
-    """Control-plane message counters (spec message type granularity)."""
+    """Control-plane message counters (spec message type granularity).
 
-    sent: Dict[str, int] = field(default_factory=dict)
-    received: Dict[str, int] = field(default_factory=dict)
+    Backed by the telemetry registry: each message type resolves to a
+    ``cbt.router.<name>.tx.<type>`` / ``.rx.<type>`` counter, so the
+    per-router MIB, the CLI ``repro stats`` view, and the conservation
+    laws all read the same numbers.  The historical ``sent`` /
+    ``received`` dict views (UPPERCASE message-type keys, insertion
+    order, zero counts omitted) are preserved as properties.
+    """
+
+    __slots__ = ("_registry", "_prefix", "_tx", "_rx")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "cbt.router.unnamed",
+    ) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._registry = registry
+        self._prefix = prefix
+        self._tx: Dict[MessageType, Counter] = {}
+        self._rx: Dict[MessageType, Counter] = {}
 
     def count_sent(self, msg_type: MessageType) -> None:
-        key = msg_type.name
-        self.sent[key] = self.sent.get(key, 0) + 1
+        # Keyed by enum member (identity hash, no ``.name`` descriptor
+        # lookup) with a direct attribute add: safe because a cached
+        # counter is only real if the registry was enabled when it was
+        # resolved, and a registry never re-enables after disable().
+        if self._registry.enabled:
+            counter = self._tx.get(msg_type)
+            if counter is None:
+                counter = self._registry.counter(
+                    f"{self._prefix}.tx.{msg_type.name.lower()}"
+                )
+                self._tx[msg_type] = counter
+            counter.value += 1
 
     def count_received(self, msg_type: MessageType) -> None:
-        key = msg_type.name
-        self.received[key] = self.received.get(key, 0) + 1
+        if self._registry.enabled:
+            counter = self._rx.get(msg_type)
+            if counter is None:
+                counter = self._registry.counter(
+                    f"{self._prefix}.rx.{msg_type.name.lower()}"
+                )
+                self._rx[msg_type] = counter
+            counter.value += 1
+
+    @property
+    def sent(self) -> Dict[str, int]:
+        return {k.name: c.value for k, c in self._tx.items() if c.value}
+
+    @property
+    def received(self) -> Dict[str, int]:
+        return {k.name: c.value for k, c in self._rx.items() if c.value}
 
     def total_sent(self, exclude_hello: bool = True) -> int:
         return sum(
@@ -77,16 +119,6 @@ class ControlStats:
             for name, count in self.sent.items()
             if not (exclude_hello and name == "HELLO")
         )
-
-
-@dataclass(frozen=True)
-class ProtocolEvent:
-    """Timestamped protocol milestone, recorded for tests/benchmarks."""
-
-    time: float
-    kind: str
-    group: IPv4Address
-    detail: str = ""
 
 
 class CBTProtocol:
@@ -156,8 +188,24 @@ class CBTProtocol:
         #: group -> consecutive loop detections; bounds loop-break retries.
         self._loop_count: Dict[IPv4Address, int] = {}
 
-        self.stats = ControlStats()
-        self.events: List[ProtocolEvent] = []
+        # Telemetry: counters live in the scheduler-wide registry under
+        # this router's name; events mirror onto the shared trace bus.
+        telemetry = router.scheduler.telemetry
+        self.telemetry = telemetry
+        registry = telemetry.registry
+        prefix = f"cbt.router.{router.name}"
+        self.stats = ControlStats(registry, prefix)
+        self.events = EventLog(telemetry.bus)
+        self._event_counters: Dict[str, Counter] = {}
+        self._join_latency = registry.histogram(f"{prefix}.join_latency")
+        self._c_joins_completed = registry.counter(f"{prefix}.joins_completed")
+        self._c_quit_retries = registry.counter(f"{prefix}.quit_retries")
+        self.fib.bind_counters(
+            registry.counter(f"{prefix}.fib_adds"),
+            registry.counter(f"{prefix}.fib_removes"),
+        )
+        registry.gauge(f"{prefix}.fib_entries", self.fib.__len__)
+        registry.gauge(f"{prefix}.fib_state", self.fib.total_state)
         self._tickers: List[PeriodicTimer] = []
         self._started = False
         #: §5.2 tunnel configuration: when set, per-core interface
@@ -1017,6 +1065,8 @@ class CBTProtocol:
             )
         else:
             latency = self.router.scheduler.now - pend.created_at
+            self._join_latency.observe(latency)
+            self._c_joins_completed.inc()
             self._record("joined", group, detail=f"{latency:.4f}")
         if group in self.rejoins:
             self.rejoins.pop(group, None)
@@ -1253,6 +1303,7 @@ class CBTProtocol:
                 self._record("quit_forced", group)
                 return
             self._quitting[group] = remaining - 1
+            self._c_quit_retries.inc()
             self._send_quit_to(group, parent)
             self._arm_quit_retry(group, parent)
 
@@ -1678,6 +1729,17 @@ class CBTProtocol:
     def _record(self, kind: str, group: IPv4Address, detail: str = "") -> None:
         self.events.append(
             ProtocolEvent(
-                time=self.router.scheduler.now, kind=kind, group=group, detail=detail
+                time=self.router.scheduler.now,
+                kind=kind,
+                group=group,
+                detail=detail,
+                router=self.router.name,
             )
         )
+        counter = self._event_counters.get(kind)
+        if counter is None:
+            counter = self.telemetry.registry.counter(
+                f"cbt.router.{self.router.name}.event.{kind}"
+            )
+            self._event_counters[kind] = counter
+        counter.inc()

@@ -44,6 +44,13 @@ class IGMPHostAgent:
         self._pending_responses: Dict[IPv4Address, Timer] = {}
         self.reports_sent = 0
         self.core_reports_sent = 0
+        # Protocol-level telemetry (see docs/OBSERVABILITY.md).
+        registry = host.scheduler.telemetry.registry
+        prefix = f"igmp.host.{host.name}"
+        self._c_tx_report = registry.counter(f"{prefix}.tx.report")
+        self._c_tx_leave = registry.counter(f"{prefix}.tx.leave")
+        self._c_tx_core_report = registry.counter(f"{prefix}.tx.core_report")
+        self._c_rx_query = registry.counter(f"{prefix}.rx.query")
 
     # -- application API --------------------------------------------------
 
@@ -65,8 +72,10 @@ class IGMPHostAgent:
         if core_tuple:
             self._send(group, CoreReport(group=group, cores=core_tuple, target_core=target_core))
             self.core_reports_sent += 1
+            self._c_tx_core_report.inc()
         self._send(group, MembershipReport(group=group))
         self.reports_sent += 1
+        self._c_tx_report.inc()
 
     def leave(self, group: IPv4Address) -> None:
         """Leave ``group``; sends an IGMP leave to 224.0.0.2 (spec §2.7)."""
@@ -78,6 +87,7 @@ class IGMPHostAgent:
         if pending is not None:
             pending.cancel()
         self._send(ALL_ROUTERS, Leave(group=group))
+        self._c_tx_leave.inc()
 
     def is_member(self, group: IPv4Address) -> bool:
         return group in self.memberships
@@ -87,6 +97,7 @@ class IGMPHostAgent:
     def handle(self, node: Node, interface: Interface, datagram: IPDatagram) -> None:
         message = datagram.payload
         if isinstance(message, MembershipQuery):
+            self._c_rx_query.inc()
             self._handle_query(message)
 
     def _handle_query(self, query: MembershipQuery) -> None:
@@ -115,8 +126,10 @@ class IGMPHostAgent:
             # queries, and prior to the membership report.
             self._send(group, CoreReport(group=group, cores=cores))
             self.core_reports_sent += 1
+            self._c_tx_core_report.inc()
         self._send(group, MembershipReport(group=group))
         self.reports_sent += 1
+        self._c_tx_report.inc()
 
     def _send(self, destination: IPv4Address, message: IGMPMessage) -> None:
         self.host.originate(

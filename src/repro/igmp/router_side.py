@@ -33,6 +33,7 @@ from repro.igmp.messages import (
     MembershipQuery,
     MembershipReport,
 )
+from repro.telemetry import MembershipEvent
 
 
 @dataclass(frozen=True)
@@ -118,6 +119,19 @@ class IGMPRouterAgent:
         self._membership_listeners: List[MembershipListener] = []
         self._core_report_listeners: List[CoreReportListener] = []
         self.queries_sent = 0
+        # Protocol-level telemetry (see docs/OBSERVABILITY.md): tx/rx
+        # per IGMP message kind plus membership/querier transitions.
+        self.telemetry = router.scheduler.telemetry
+        registry = self.telemetry.registry
+        prefix = f"igmp.router.{router.name}"
+        self._c_tx_query = registry.counter(f"{prefix}.tx.query")
+        self._c_rx_query = registry.counter(f"{prefix}.rx.query")
+        self._c_rx_report = registry.counter(f"{prefix}.rx.report")
+        self._c_rx_leave = registry.counter(f"{prefix}.rx.leave")
+        self._c_rx_core_report = registry.counter(f"{prefix}.rx.core_report")
+        self._c_gains = registry.counter(f"{prefix}.membership_gains")
+        self._c_losses = registry.counter(f"{prefix}.membership_losses")
+        self._c_querier_transitions = registry.counter(f"{prefix}.querier_transitions")
         router.register_handler(PROTO_IGMP, self)
 
     # -- lifecycle -----------------------------------------------------------
@@ -182,12 +196,16 @@ class IGMPRouterAgent:
     def handle(self, node: Node, interface: Interface, datagram: IPDatagram) -> None:
         message = datagram.payload
         if isinstance(message, MembershipQuery):
+            self._c_rx_query.inc()
             self._handle_query(interface, datagram.src)
         elif isinstance(message, MembershipReport):
+            self._c_rx_report.inc()
             self._handle_report(interface, message.group)
         elif isinstance(message, Leave):
+            self._c_rx_leave.inc()
             self._handle_leave(interface, message.group)
         elif isinstance(message, CoreReport):
+            self._c_rx_core_report.inc()
             self._handle_core_report(interface, message)
 
     def _handle_query(self, interface: Interface, source: IPv4Address) -> None:
@@ -197,6 +215,8 @@ class IGMPRouterAgent:
         if source < interface.address:
             # Lower-addressed querier wins (spec §2.3); never replace a
             # known querier with a higher-addressed one.
+            if state.querier:
+                self._c_querier_transitions.inc()
             state.querier = False
             if state.querier_address is None or source <= state.querier_address:
                 state.querier_address = source
@@ -210,6 +230,8 @@ class IGMPRouterAgent:
     def _make_querier_resume(self, interface: Interface) -> Callable[[], None]:
         def resume() -> None:
             state = self._state_for(interface)
+            if not state.querier:
+                self._c_querier_transitions.inc()
             state.querier = True
             state.querier_address = None
 
@@ -262,6 +284,7 @@ class IGMPRouterAgent:
 
     def _send_query(self, interface: Interface, group: Optional[IPv4Address]) -> None:
         self.queries_sent += 1
+        self._c_tx_query.inc()
         max_response = (
             self.config.query_response_interval
             if group is None
@@ -302,5 +325,17 @@ class IGMPRouterAgent:
         return expire
 
     def _notify_membership(self, interface: Interface, group: IPv4Address, present: bool) -> None:
+        (self._c_gains if present else self._c_losses).inc()
+        bus = self.telemetry.bus
+        if bus.enabled:
+            bus.publish(
+                MembershipEvent(
+                    time=self.router.scheduler.now,
+                    router=self.router.name,
+                    vif=interface.vif,
+                    group=group,
+                    present=present,
+                )
+            )
         for listener in self._membership_listeners:
             listener(interface, group, present)

@@ -39,6 +39,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.telemetry import Telemetry
+
 #: Compact the heap only once at least this many cancelled events have
 #: accumulated (and they make up more than half the queue).
 _COMPACT_MIN = 64
@@ -105,13 +107,27 @@ class Scheduler:
         sched.run(until=10.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry_enabled: bool = True) -> None:
         self._queue: List[Tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._events_processed = 0
         self._pending = 0
         self._cancelled_in_heap = 0
+        #: Engine accounting (always on — plain integer bumps): these
+        #: obey scheduled == processed + cancelled + pending, checked
+        #: by :mod:`repro.telemetry.conservation`.
+        self.events_scheduled = 0
+        self.events_cancelled = 0
+        #: Observability bundle shared by everything holding this
+        #: scheduler (links, routers, protocols, IGMP agents).
+        self.telemetry = Telemetry(enabled=telemetry_enabled)
+        registry = self.telemetry.registry
+        registry.gauge("netsim.scheduler.events_scheduled", lambda: self.events_scheduled)
+        registry.gauge("netsim.scheduler.events_processed", lambda: self._events_processed)
+        registry.gauge("netsim.scheduler.events_cancelled", lambda: self.events_cancelled)
+        registry.gauge("netsim.scheduler.pending_events", lambda: self._pending)
+        registry.gauge("netsim.scheduler.sim_time", lambda: self._now)
         #: When set, same-instant tie groups of size >= 2 are resolved
         #: by this callable instead of FIFO order.  It receives
         #: ``(time, [tag, ...])`` — one entry per tied event, in FIFO
@@ -161,6 +177,7 @@ class Scheduler:
         event = _Event(time, callback, tag)
         heapq.heappush(self._queue, (time, next(self._seq), event))
         self._pending += 1
+        self.events_scheduled += 1
         return Timer(self, event)
 
     def pending_tags(self) -> List[Tuple]:
@@ -177,6 +194,7 @@ class Scheduler:
             return
         event.cancelled = True
         self._pending -= 1
+        self.events_cancelled += 1
         self._cancelled_in_heap += 1
         if (
             self._cancelled_in_heap >= _COMPACT_MIN

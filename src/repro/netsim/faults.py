@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.netsim.packet import IPDatagram
+from repro.telemetry import FaultEvent as TraceFaultEvent
 
 
 def derive_seed(base: int, *labels: object) -> int:
@@ -299,6 +300,11 @@ class FaultSchedule:
     def _make_applied(self, scheduler, at, description, action):
         def fire() -> None:
             self.applied.append((scheduler.now, description))
+            bus = scheduler.telemetry.bus
+            if bus.enabled:
+                bus.publish(
+                    TraceFaultEvent(time=scheduler.now, description=description)
+                )
             action()
 
         return fire

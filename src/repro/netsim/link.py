@@ -18,6 +18,7 @@ from repro.netsim.engine import Scheduler
 from repro.netsim.nic import Interface
 from repro.netsim.packet import IPDatagram
 from repro.netsim.trace import PacketTrace, TraceRecord
+from repro.telemetry import Counter, MsgCounters, payload_label
 
 #: Default propagation delay in seconds for LAN segments.
 DEFAULT_LAN_DELAY = 0.001
@@ -79,7 +80,33 @@ class Link:
         self._by_address: Dict[IPv4Address, Interface] = {}
         self.tx_count = 0
         self.tx_bytes = 0
+        self.attempt_count = 0
+        self.fanout_count = 0
+        self.rx_count = 0
         self.queued_time = 0.0
+        # Wire-level conservation instruments (see
+        # repro.telemetry.conservation): attempts == tx_packets +
+        # pre-wire drops; fanout >= rx_packets + late drops.  The wire
+        # statistics are counted natively (plain int attributes, same
+        # cost with telemetry on or off) and exposed through callback
+        # gauges, so the hot path pays nothing extra for them; only the
+        # per-payload-label counters cost an add, behind one enabled
+        # check.
+        self._telemetry = scheduler.telemetry
+        self._registry = scheduler.telemetry.registry
+        # Shared label-> and msg_type->MsgCounters caches (disable()
+        # clears them in place, so the references never go stale).
+        self._msg_map = scheduler.telemetry._msg
+        self._msg_by_type = scheduler.telemetry._msg_by_type
+        self._drop_counters: Dict[str, Counter] = {}
+        registry = self._registry
+        base = f"netsim.link.{name}"
+        registry.gauge(f"{base}.attempts", lambda: self.attempt_count)
+        registry.gauge(f"{base}.tx_packets", lambda: self.tx_count)
+        registry.gauge(f"{base}.tx_bytes", lambda: self.tx_bytes)
+        registry.gauge(f"{base}.fanout", lambda: self.fanout_count)
+        registry.gauge(f"{base}.rx_packets", lambda: self.rx_count)
+        registry.gauge(f"{base}.queued_time", lambda: self.queued_time)
         #: Callbacks fired when this link's topology-relevant state
         #: changes (attachment, up/down, interface flips).  Link-state
         #: routing registers here to invalidate its caches.
@@ -137,14 +164,18 @@ class Link:
         ``link_dst`` (defaulting to the datagram's destination when it
         is on this subnet).
         """
+        self.attempt_count += 1
         if not self.up:
             self._record("drop", sender, datagram, note="link down")
+            self._count_drop(datagram, "link_down")
             return
         if self.gate is not None and not self.gate(self, sender, datagram):
             self._record("drop", sender, datagram, note="gate")
+            self._count_drop(datagram, "gate")
             return
         if self.loss is not None and self.loss(datagram):
             self._record("drop", sender, datagram, note="loss")
+            self._count_drop(datagram, "loss")
             return
         if datagram.is_multicast or (link_dst is None and datagram.dst not in self.network):
             receivers = [i for i in self.interfaces if i is not sender and i._up]
@@ -158,9 +189,34 @@ class Link:
                 # link (counting it inflated overhead metrics and
                 # delayed later packets behind a phantom datagram).
                 self._record("drop", sender, datagram, note=f"no host {target}")
+                self._count_drop(datagram, "no_host")
                 return
+        size = datagram.size_bytes()
         self.tx_count += 1
-        self.tx_bytes += datagram.size_bytes()
+        self.tx_bytes += size
+        if receivers:
+            self.fanout_count += len(receivers)
+        msg: Optional[MsgCounters] = None
+        if self._registry.enabled:
+            # Inlined fast path of payload_label(): most traffic
+            # carries a msg_type-bearing payload, resolved through one
+            # identity-hash dict lookup.
+            payload = datagram.payload
+            inner = getattr(payload, "payload", payload)
+            msg_type = getattr(inner, "msg_type", None)
+            if msg_type is not None:
+                msg = self._msg_by_type.get(msg_type)
+                if msg is None:
+                    msg = self._telemetry.msg(payload_label(datagram))
+                    self._msg_by_type[msg_type] = msg
+            else:
+                label = payload_label(datagram)
+                msg = self._msg_map.get(label)
+                if msg is None:
+                    msg = self._telemetry.msg(label)
+            msg.tx.value += 1
+            if receivers:
+                msg.sched.value += len(receivers)
         self._record("tx", sender, datagram)
         extra_delay = 0.0
         if self.bandwidth_bps is not None:
@@ -168,7 +224,7 @@ class Link:
             # occupy it for the packet's transmission time.
             now = self.scheduler.now
             start = max(now, self._busy_until)
-            serialisation = datagram.size_bytes() * 8 / self.bandwidth_bps
+            serialisation = size * 8 / self.bandwidth_bps
             self._busy_until = start + serialisation
             self.queued_time += start - now
             extra_delay = (start - now) + serialisation
@@ -178,14 +234,32 @@ class Link:
         for receiver in receivers:
             self.scheduler.call_later(
                 self.delay + extra_delay,
-                _make_delivery(self, receiver, datagram),
+                _make_delivery(self, receiver, datagram, msg),
                 tag=delivery_tag(self, receiver, datagram) if tagging else None,
             )
 
-    def deliver(self, receiver: Interface, datagram: IPDatagram) -> None:
+    def deliver(
+        self,
+        receiver: Interface,
+        datagram: IPDatagram,
+        msg: Optional[MsgCounters] = None,
+    ) -> None:
         if not self.up or not receiver._up:
             self._record("drop", receiver, datagram, note="down at delivery")
+            if msg is not None:
+                # registry.counter() degrades to the null counter if
+                # telemetry was disabled since transmit time.
+                self._telemetry.msg_dropped(msg.label, "late")
+                self._registry.counter(
+                    f"netsim.link.{self.name}.drop.late"
+                ).inc()
             return
+        self.rx_count += 1
+        if msg is not None:
+            # Resolved at transmit time, so this counts even if the
+            # registry was disabled in between (matching the registry's
+            # "existing instruments keep counting" contract).
+            msg.rx.value += 1
         self.trace.record(
             TraceRecord(
                 time=self.scheduler.now,
@@ -196,6 +270,20 @@ class Link:
             )
         )
         receiver.node.receive(receiver, datagram)
+
+    def _count_drop(self, datagram: IPDatagram, reason: str) -> None:
+        """Count a pre-wire drop against the link and the payload label
+        (label lookup only happens on the drop; per-reason counters are
+        cached — convergence produces a steady trickle of drops)."""
+        if self._registry.enabled:
+            self._telemetry.msg_dropped(payload_label(datagram), reason)
+            counter = self._drop_counters.get(reason)
+            if counter is None:
+                counter = self._registry.counter(
+                    f"netsim.link.{self.name}.drop.{reason}"
+                )
+                self._drop_counters[reason] = counter
+            counter.value += 1
 
     def _record(self, kind: str, interface: Interface, datagram: IPDatagram, note: str = "") -> None:
         self.trace.record(
@@ -210,24 +298,22 @@ class Link:
         )
 
 
-def _make_delivery(link: Link, receiver: Interface, datagram: IPDatagram) -> Callable[[], None]:
-    """Bind loop variables for the delayed delivery callback."""
-    return lambda: link.deliver(receiver, datagram)
+def _make_delivery(
+    link: Link,
+    receiver: Interface,
+    datagram: IPDatagram,
+    msg: Optional[MsgCounters] = None,
+) -> Callable[[], None]:
+    """Bind loop variables for the delayed delivery callback.  The
+    counter bundle resolved at transmit time rides along so delivery
+    accounting is a single attribute add."""
+    return lambda: link.deliver(receiver, datagram, msg)
 
 
-def describe_payload(datagram: IPDatagram) -> str:
-    """Short protocol-aware label for a datagram (duck-typed so netsim
-    needs no knowledge of the CBT/IGMP message classes)."""
-    payload = datagram.payload
-    inner = getattr(payload, "payload", payload)
-    msg_type = getattr(inner, "msg_type", None)
-    name = getattr(msg_type, "name", None)
-    if name is not None:
-        return name
-    type_name = type(inner).__name__
-    if type_name not in ("bytes", "NoneType", "str"):
-        return type_name
-    return f"proto{datagram.proto}"
+#: Short protocol-aware label for a datagram (duck-typed so netsim
+#: needs no knowledge of the CBT/IGMP message classes); now lives in
+#: the telemetry layer, kept under its historical name here.
+describe_payload = payload_label
 
 
 def delivery_tag(

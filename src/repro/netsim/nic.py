@@ -10,6 +10,8 @@ from __future__ import annotations
 from ipaddress import IPv4Address, IPv4Network
 from typing import TYPE_CHECKING, Optional
 
+from repro.telemetry import payload_label
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.netsim.link import Link
     from repro.netsim.node import Node
@@ -88,5 +90,11 @@ class Interface:
         if self.link is None:
             raise RuntimeError(f"{self!r} is not attached to a link")
         if not self._up:
+            telemetry = self.node.scheduler.telemetry
+            if telemetry.enabled:
+                telemetry.msg_dropped(payload_label(datagram), "iface_down")
+                telemetry.registry.counter(
+                    f"netsim.node.{self.node.name}.drop.iface_down"
+                ).inc()
             return
         self.link.transmit(self, datagram, link_dst=link_dst)

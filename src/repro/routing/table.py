@@ -28,6 +28,7 @@ from repro.netsim.engine import Scheduler
 from repro.netsim.nic import Interface
 from repro.netsim.node import Node
 from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IGMP
+from repro.telemetry import payload_label as _payload_label
 
 
 class Route:
@@ -265,7 +266,14 @@ class RoutedNode(Node):
             return
         route = self.table.lookup(datagram.dst)
         if route is None:
-            return  # no route: silently dropped, like a real router
+            # No route: dropped, like a real router — but counted.
+            telemetry = self.scheduler.telemetry
+            if telemetry.enabled:
+                telemetry.msg_dropped(_payload_label(datagram), "no_route")
+                telemetry.registry.counter(
+                    f"netsim.node.{self.name}.drop.no_route"
+                ).inc()
+            return
         link_dst = route.next_hop if route.next_hop is not None else datagram.dst
         route.interface.send(datagram, link_dst=link_dst)
 
@@ -374,7 +382,14 @@ class Router(RoutedNode):
         ):
             return
         if datagram.ttl <= 1:
-            return  # TTL expired
+            # TTL expired — counted as a reasoned drop.
+            telemetry = self.scheduler.telemetry
+            if telemetry.enabled:
+                telemetry.msg_dropped(_payload_label(datagram), "ttl")
+                telemetry.registry.counter(
+                    f"netsim.node.{self.name}.drop.ttl"
+                ).inc()
+            return
         self.forwarded_count += 1
         self._transmit_unicast(datagram.decremented())
 

@@ -1,0 +1,158 @@
+"""Unified observability layer: metrics registry + structured trace bus.
+
+One :class:`Telemetry` bundle hangs off every
+:class:`repro.netsim.engine.Scheduler`, so every component that can
+schedule events (links, routers, protocols, IGMP agents) reaches the
+same registry and bus without extra plumbing.  See
+docs/OBSERVABILITY.md for the naming conventions and the conservation
+laws the counters satisfy.
+
+This package imports nothing from the rest of ``repro`` — the
+dependency arrow points strictly inward (netsim/core/igmp import
+telemetry, never the reverse).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.telemetry.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.telemetry.tracebus import (
+    EventLog,
+    FaultEvent,
+    MembershipEvent,
+    PacketEvent,
+    ProtocolEvent,
+    TRACE_SCHEMA,
+    TraceBus,
+    dump_jsonl,
+    dumps_jsonl,
+    load_jsonl,
+    loads_jsonl,
+    payload_label,
+    record_from_json,
+    record_to_json,
+)
+
+Number = Union[int, float]
+
+
+class MsgCounters:
+    """Pre-resolved per-payload-label wire counters (hot path).
+
+    ``tx`` counts datagrams accepted onto a wire (per hop), ``sched``
+    scheduled delivery events (fan-out), ``rx`` completed deliveries.
+    Drops are resolved lazily by reason — they are cold paths.
+    """
+
+    __slots__ = ("label", "tx", "sched", "rx")
+
+    def __init__(
+        self, label: str, tx: Counter, sched: Counter, rx: Counter
+    ) -> None:
+        self.label = label
+        self.tx = tx
+        self.sched = sched
+        self.rx = rx
+
+
+_NULL_MSG = MsgCounters("", NULL_COUNTER, NULL_COUNTER, NULL_COUNTER)
+
+
+class Telemetry:
+    """Per-scheduler observability bundle (registry + trace bus)."""
+
+    __slots__ = ("registry", "bus", "_msg", "_msg_by_type", "_msg_drops")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.bus = TraceBus()
+        self.bus.enabled = enabled
+        self._msg: Dict[str, MsgCounters] = {}
+        #: msg_type enum member -> bundle shortcut for the transmit hot
+        #: path (identity-hash lookup, no label string resolution).
+        self._msg_by_type: Dict[object, MsgCounters] = {}
+        self._msg_drops: Dict[tuple, Counter] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def disable(self) -> None:
+        """Switch to null instruments and stop bus capture.  Call
+        before components pre-resolve their counters (the
+        ``Network(telemetry_enabled=False)`` path) for a true
+        zero-bookkeeping baseline."""
+        self.registry.disable()
+        self.bus.enabled = False
+        self._msg.clear()
+        self._msg_by_type.clear()
+        self._msg_drops.clear()
+
+    def msg(self, label: str) -> MsgCounters:
+        """Cached per-payload-label wire counter bundle."""
+        counters = self._msg.get(label)
+        if counters is None:
+            if not self.registry.enabled:
+                return _NULL_MSG
+            base = f"netsim.msg.{label}"
+            counters = MsgCounters(
+                label,
+                self.registry.counter(base + ".tx"),
+                self.registry.counter(base + ".sched"),
+                self.registry.counter(base + ".rx"),
+            )
+            self._msg[label] = counters
+        return counters
+
+    def msg_dropped(self, label: str, reason: str, amount: Number = 1) -> None:
+        """Count a per-label drop (reasons: link_down, gate, loss,
+        no_host, late, no_route, ttl, iface_down).  Resolved counters
+        are cached by (label, reason) — convergence-time no_host drops
+        make this warmer than it looks."""
+        key = (label, reason)
+        counter = self._msg_drops.get(key)
+        if counter is None:
+            counter = self.registry.counter(f"netsim.msg.{label}.drop.{reason}")
+            if not self.registry.enabled:
+                counter.inc(amount)
+                return
+            self._msg_drops[key] = counter
+        counter.inc(amount)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLog",
+    "FaultEvent",
+    "Gauge",
+    "Histogram",
+    "MembershipEvent",
+    "MetricsRegistry",
+    "MsgCounters",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "PacketEvent",
+    "ProtocolEvent",
+    "TRACE_SCHEMA",
+    "Telemetry",
+    "TraceBus",
+    "dump_jsonl",
+    "dumps_jsonl",
+    "load_jsonl",
+    "loads_jsonl",
+    "payload_label",
+    "record_from_json",
+    "record_to_json",
+]

@@ -1,0 +1,287 @@
+"""Conservation laws over telemetry counters.
+
+Every message the simulation creates must be accounted for exactly
+once: delivered, dropped with a reason, or still in flight.  The
+instrumentation layers (protocol counters in ``core``/``igmp``, wire
+counters in ``netsim.link``, sink counters in ``routing``/``nic``)
+count independently at different chokepoints, so these cross-layer
+identities are real checks — a missed early-return or double-count in
+any one layer breaks a law.
+
+The functions return a list of human-readable violation strings
+(empty = all laws hold).  They hold at *any* instant, not just at
+quiescence: in-flight messages are computed from the counters
+themselves (``sched - rx - late``), so tests can snapshot mid-run.
+
+Everything here is duck-typed over plain counter names — this module
+imports nothing from the rest of ``repro``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.telemetry.registry import MetricsRegistry
+
+Number = Union[int, float]
+
+#: CBT control types delivered to exactly one next hop, so per-type
+#: protocol tx/rx obey strict flow conservation.  HELLO is multicast
+#: (one tx fans out to every LAN neighbour) and is checked only on the
+#: tx side.
+UNICAST_CBT_TYPES = (
+    "JOIN_REQUEST",
+    "JOIN_ACK",
+    "JOIN_NACK",
+    "QUIT_REQUEST",
+    "QUIT_ACK",
+    "FLUSH_TREE",
+    "ECHO_REQUEST",
+    "ECHO_REPLY",
+)
+
+ALL_CBT_TYPES = UNICAST_CBT_TYPES + ("HELLO",)
+
+#: payload label -> protocol-level tx counter pattern for IGMP.
+IGMP_TX_PATTERNS = {
+    "MembershipQuery": "igmp.router.*.tx.query",
+    "MembershipReport": "igmp.host.*.tx.report",
+    "Leave": "igmp.host.*.tx.leave",
+    "CoreReport": "igmp.host.*.tx.core_report",
+}
+
+IGMP_RX_PATTERNS = {
+    "MembershipQuery": "igmp.*.rx.query",
+    "MembershipReport": "igmp.router.*.rx.report",
+    "Leave": "igmp.router.*.rx.leave",
+    "CoreReport": "igmp.router.*.rx.core_report",
+}
+
+#: Drop reasons counted before anything touches the wire (in
+#: ``Link.transmit``).
+PRE_WIRE_REASONS = ("link_down", "gate", "loss", "no_host")
+
+#: Drop reasons counted at node-level sinks before reaching any link.
+NODE_REASONS = ("no_route", "ttl", "iface_down")
+
+#: Drop reason for a scheduled delivery that found the link or the
+#: receiving interface down on arrival.
+LATE_REASON = "late"
+
+
+def _msg_value(registry: MetricsRegistry, label: str, metric: str) -> Number:
+    return registry.value(f"netsim.msg.{label}.{metric}")
+
+
+def _msg_drops(registry: MetricsRegistry, label: str, reasons) -> Number:
+    return sum(
+        registry.value(f"netsim.msg.{label}.drop.{reason}") for reason in reasons
+    )
+
+
+def msg_in_flight(registry: MetricsRegistry, label: str) -> Number:
+    """Delivery events scheduled but neither delivered nor late-dropped."""
+    return (
+        _msg_value(registry, label, "sched")
+        - _msg_value(registry, label, "rx")
+        - _msg_drops(registry, label, (LATE_REASON,))
+    )
+
+
+def link_conservation(registry: MetricsRegistry) -> List[str]:
+    """Per link: every transmit attempt is a wire tx or a reasoned drop,
+    and every scheduled delivery is delivered, late-dropped, or still
+    in flight (never negative)."""
+    violations = []
+    links = set()
+    for name in registry.matching("netsim.link.*.attempts"):
+        links.add(name.split(".")[2])
+    for link in sorted(links):
+        base = f"netsim.link.{link}"
+        attempts = registry.value(f"{base}.attempts")
+        tx = registry.value(f"{base}.tx_packets")
+        pre_drops = registry.total(f"{base}.drop.*") - registry.value(
+            f"{base}.drop.{LATE_REASON}"
+        )
+        if attempts != tx + pre_drops:
+            violations.append(
+                f"link {link}: attempts {attempts} != "
+                f"tx {tx} + pre-wire drops {pre_drops}"
+            )
+        fanout = registry.value(f"{base}.fanout")
+        rx = registry.value(f"{base}.rx_packets")
+        late = registry.value(f"{base}.drop.{LATE_REASON}")
+        in_flight = fanout - rx - late
+        if in_flight < 0:
+            violations.append(
+                f"link {link}: negative in-flight ({fanout} scheduled, "
+                f"{rx} delivered, {late} late drops)"
+            )
+    return violations
+
+
+def label_conservation(registry: MetricsRegistry) -> List[str]:
+    """Per payload label: scheduled deliveries never under-run
+    deliveries + late drops."""
+    violations = []
+    labels = set()
+    for name in registry.matching("netsim.msg.*.tx"):
+        labels.add(name.split(".")[2])
+    for label in sorted(labels):
+        in_flight = msg_in_flight(registry, label)
+        if in_flight < 0:
+            violations.append(f"label {label}: negative in-flight ({in_flight})")
+    return violations
+
+
+def cbt_conservation(registry: MetricsRegistry) -> List[str]:
+    """CBT per-message-type flow conservation across layers.
+
+    For every type: protocol-level sends == wire transmissions plus
+    pre-wire and node-level drops (nothing leaves the protocol layer
+    unaccounted).  For unicast types additionally: protocol sends ==
+    protocol receives + every drop + in flight (the end-to-end law —
+    CBT control is addressed hop-by-hop, so wire rx and protocol rx
+    must agree).
+    """
+    violations = []
+    for label in ALL_CBT_TYPES:
+        low = label.lower()
+        proto_tx = registry.total(f"cbt.router.*.tx.{low}")
+        wire_tx = _msg_value(registry, label, "tx")
+        unwired = _msg_drops(registry, label, PRE_WIRE_REASONS + NODE_REASONS)
+        if proto_tx != wire_tx + unwired:
+            violations.append(
+                f"{label}: protocol tx {proto_tx} != wire tx {wire_tx} "
+                f"+ pre-wire/node drops {unwired}"
+            )
+    for label in UNICAST_CBT_TYPES:
+        low = label.lower()
+        proto_tx = registry.total(f"cbt.router.*.tx.{low}")
+        proto_rx = registry.total(f"cbt.router.*.rx.{low}")
+        drops = _msg_drops(
+            registry, label, PRE_WIRE_REASONS + NODE_REASONS + (LATE_REASON,)
+        )
+        in_flight = msg_in_flight(registry, label)
+        if proto_tx != proto_rx + drops + in_flight:
+            violations.append(
+                f"{label}: protocol tx {proto_tx} != protocol rx {proto_rx} "
+                f"+ drops {drops} + in-flight {in_flight}"
+            )
+    return violations
+
+
+def igmp_conservation(registry: MetricsRegistry) -> List[str]:
+    """IGMP tx-side accounting (all IGMP is link-local multicast, so
+    the rx side is bounded by wire deliveries rather than equal)."""
+    violations = []
+    for label, pattern in IGMP_TX_PATTERNS.items():
+        proto_tx = registry.total(pattern)
+        wire_tx = _msg_value(registry, label, "tx")
+        unwired = _msg_drops(registry, label, PRE_WIRE_REASONS + NODE_REASONS)
+        if proto_tx != wire_tx + unwired:
+            violations.append(
+                f"{label}: protocol tx {proto_tx} != wire tx {wire_tx} "
+                f"+ pre-wire/node drops {unwired}"
+            )
+        proto_rx = registry.total(IGMP_RX_PATTERNS[label])
+        wire_rx = _msg_value(registry, label, "rx")
+        if proto_rx > wire_rx:
+            violations.append(
+                f"{label}: protocol rx {proto_rx} exceeds wire deliveries {wire_rx}"
+            )
+    return violations
+
+
+def fib_conservation(registry: MetricsRegistry, protocols: Dict) -> List[str]:
+    """Per router: FIB adds − removes == live entries."""
+    violations = []
+    for name, protocol in sorted(protocols.items()):
+        adds = registry.value(f"cbt.router.{name}.fib_adds")
+        removes = registry.value(f"cbt.router.{name}.fib_removes")
+        live = len(protocol.fib)
+        if adds - removes != live:
+            violations.append(
+                f"router {name}: fib adds {adds} - removes {removes} "
+                f"!= live entries {live}"
+            )
+    return violations
+
+
+def histogram_conservation(registry: MetricsRegistry) -> List[str]:
+    """Bucket counts sum to the observation count, and join-latency
+    observations match the joins-completed counter."""
+    violations = []
+    for histogram in registry.histograms_matching("*"):
+        if sum(histogram.bucket_counts) != histogram.count:
+            violations.append(
+                f"histogram {histogram.name}: bucket sum "
+                f"{sum(histogram.bucket_counts)} != count {histogram.count}"
+            )
+    for histogram in registry.histograms_matching("cbt.router.*.join_latency"):
+        router = histogram.name.split(".")[2]
+        completed = registry.value(f"cbt.router.{router}.joins_completed")
+        if histogram.count != completed:
+            violations.append(
+                f"histogram {histogram.name}: count {histogram.count} "
+                f"!= joins_completed {completed}"
+            )
+    return violations
+
+
+def membership_conservation(registry: MetricsRegistry, protocols: Dict) -> List[str]:
+    """Per router: membership gains − losses == live (vif, group) pairs."""
+    violations = []
+    for name, protocol in sorted(protocols.items()):
+        agent = getattr(protocol, "igmp", None)
+        if agent is None:
+            continue
+        gains = registry.value(f"igmp.router.{name}.membership_gains")
+        losses = registry.value(f"igmp.router.{name}.membership_losses")
+        live = sum(
+            len(groups) for groups in agent.database._by_interface.values()
+        )
+        if gains - losses != live:
+            violations.append(
+                f"router {name}: membership gains {gains} - losses {losses} "
+                f"!= live memberships {live}"
+            )
+    return violations
+
+
+def scheduler_conservation(scheduler) -> List[str]:
+    """Engine accounting: every scheduled event fires, is cancelled, or
+    is still pending."""
+    scheduled = scheduler.events_scheduled
+    processed = scheduler.events_processed
+    cancelled = scheduler.events_cancelled
+    pending = scheduler.pending_events
+    if scheduled != processed + cancelled + pending:
+        return [
+            f"scheduler: scheduled {scheduled} != processed {processed} "
+            f"+ cancelled {cancelled} + pending {pending}"
+        ]
+    return []
+
+
+def check_conservation(network, domain: Optional[object] = None) -> List[str]:
+    """Run every applicable law; returns all violations (empty = good).
+
+    ``network`` needs ``.scheduler.telemetry``; ``domain`` (optional)
+    supplies protocols for the FIB and membership laws.  With telemetry
+    disabled the counter laws are vacuous (no counters exist).
+    """
+    telemetry = network.scheduler.telemetry
+    registry = telemetry.registry
+    violations = []
+    violations += link_conservation(registry)
+    violations += label_conservation(registry)
+    violations += cbt_conservation(registry)
+    violations += igmp_conservation(registry)
+    violations += histogram_conservation(registry)
+    violations += scheduler_conservation(network.scheduler)
+    if domain is not None:
+        protocols = getattr(domain, "protocols", {})
+        violations += fib_conservation(registry, protocols)
+        violations += membership_conservation(registry, protocols)
+    return violations

@@ -1,0 +1,309 @@
+"""Zero-dependency metrics registry (the observability layer's core).
+
+Three instrument kinds, modelled on the conventional MIB/metrics
+split real router implementations expose:
+
+* :class:`Counter` — monotonically increasing event count (messages
+  sent, FIB adds, drops by reason).
+* :class:`Gauge` — point-in-time value, either set explicitly or read
+  lazily through a callback at snapshot time (queue depths, live FIB
+  size).  Callback gauges cost nothing on the hot path.
+* :class:`Histogram` — fixed bucket boundaries chosen at creation
+  (join latencies).  Fixed boundaries keep snapshots mergeable:
+  bucket-wise addition is exact, unlike quantile sketches.
+
+Names are hierarchical dotted paths (``cbt.router.R4.tx.join_request``)
+so snapshots group naturally and :meth:`MetricsRegistry.total` can
+aggregate with shell-style wildcards.
+
+Determinism: nothing here reads wall-clock time or has any other
+hidden input — every value is a pure function of the simulation, so a
+snapshot of a deterministic run is byte-for-byte reproducible.
+
+Disabled mode: a registry created with ``enabled=False`` (or disabled
+before instruments are handed out) returns shared *null* instruments
+whose mutators are no-ops.  Hot paths therefore always call
+``counter.inc()`` unconditionally — the cost of the disabled path is
+one no-op method call, which is what the perf harness's telemetry-off
+baseline measures against.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds, in simulation seconds.
+#: Chosen for control-plane latencies: LAN joins land in the first few
+#: buckets, multi-hop WAN joins and retry-driven rejoins in the tail.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Point-in-time value; explicit via :meth:`set` or lazy via callback."""
+
+    __slots__ = ("name", "_value", "callback")
+
+    def __init__(
+        self, name: str, callback: Optional[Callable[[], Number]] = None
+    ) -> None:
+        self.name = name
+        self._value: Number = 0
+        self.callback = callback
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def read(self) -> Number:
+        if self.callback is not None:
+            return self.callback()
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.read()})"
+
+
+class Histogram:
+    """Cumulative-style histogram over fixed bucket boundaries.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` exclusive
+    of earlier buckets (i.e. per-bucket, not cumulative, in memory);
+    the overflow bucket counts observations above the last bound.
+    Snapshots expose per-bucket counts plus ``count`` and ``sum``, so
+    ``sum(bucket_counts) == count`` is a checkable conservation law.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: Number) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name} n={self.count} sum={self.sum:g})"
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    callback = None
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def read(self) -> Number:
+        return 0
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    bounds: Tuple[float, ...] = ()
+    bucket_counts: List[int] = []
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Instrument factory + snapshot surface.
+
+    Instruments are created on first request and shared thereafter
+    (same name → same object), so callers can pre-resolve them at
+    construction time and pay only an attribute access + ``inc()`` on
+    hot paths.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def disable(self) -> None:
+        """Hand out null instruments from now on (existing ones keep
+        counting; disable before wiring for a true zero-cost run)."""
+        self.enabled = False
+
+    # -- instrument factories -------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def gauge(
+        self, name: str, callback: Optional[Callable[[], Number]] = None
+    ) -> Gauge:
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = Gauge(name, callback)
+            self._gauges[name] = gauge
+        elif callback is not None:
+            gauge.callback = callback
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name, bounds)
+            self._histograms[name] = histogram
+        return histogram
+
+    # -- queries ---------------------------------------------------------
+
+    def counters(self) -> Dict[str, Number]:
+        """Live counter values by name (insertion order preserved)."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def value(self, name: str) -> Number:
+        """Current value of counter or gauge ``name`` (0 if never
+        created).  Gauges participate so hot-path components may expose
+        natively-counted statistics through callback gauges instead of
+        paying per-event counter increments."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        return gauge.read() if gauge is not None else 0
+
+    def total(self, pattern: str) -> Number:
+        """Sum of counter and gauge values whose names match the
+        shell-style ``pattern`` (``fnmatch``; ``*`` does cross ``.``
+        boundaries)."""
+        return sum(
+            c.value for name, c in self._counters.items() if fnmatchcase(name, pattern)
+        ) + sum(
+            g.read() for name, g in self._gauges.items() if fnmatchcase(name, pattern)
+        )
+
+    def matching(self, pattern: str) -> Dict[str, Number]:
+        """Counter and gauge values whose names match ``pattern``,
+        sorted by name."""
+        merged = {name: c.value for name, c in self._counters.items()}
+        for name, gauge in self._gauges.items():
+            merged.setdefault(name, gauge.read())
+        return {
+            name: merged[name]
+            for name in sorted(merged)
+            if fnmatchcase(name, pattern)
+        }
+
+    def histograms_matching(self, pattern: str) -> List[Histogram]:
+        return [
+            self._histograms[name]
+            for name in sorted(self._histograms)
+            if fnmatchcase(name, pattern)
+        ]
+
+    # -- snapshots -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Flat, sorted ``name -> value`` map of every instrument.
+
+        Histograms expand to ``<name>.count``, ``<name>.sum`` and one
+        ``<name>.le_<bound>`` entry per bucket (``le_inf`` for the
+        overflow bucket).  Callback gauges are evaluated here.
+        """
+        out: Dict[str, Number] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.read()
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = histogram.count
+            out[f"{name}.sum"] = histogram.sum
+            for bound, bucket in zip(histogram.bounds, histogram.bucket_counts):
+                out[f"{name}.le_{bound:g}"] = bucket
+            out[f"{name}.le_inf"] = histogram.bucket_counts[-1]
+        return dict(sorted(out.items()))
+
+    @staticmethod
+    def diff(new: Dict[str, Number], old: Dict[str, Number]) -> Dict[str, Number]:
+        """Per-key ``new - old`` (missing keys read as 0), sorted,
+        zero-difference keys omitted."""
+        keys = set(new) | set(old)
+        out = {k: new.get(k, 0) - old.get(k, 0) for k in sorted(keys)}
+        return {k: v for k, v in out.items() if v != 0}
+
+    @staticmethod
+    def merge(*snapshots: Dict[str, Number]) -> Dict[str, Number]:
+        """Key-wise sum of snapshots (fixed buckets make this exact)."""
+        out: Dict[str, Number] = {}
+        for snap in snapshots:
+            for key, value in snap.items():
+                out[key] = out.get(key, 0) + value
+        return dict(sorted(out.items()))

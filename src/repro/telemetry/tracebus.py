@@ -1,0 +1,399 @@
+"""Structured trace bus: typed records, subscribers, JSONL export.
+
+The bus replaces the protocols' informal per-instance ``events`` lists
+as the canonical event stream: every producer publishes typed records
+(protocol milestones, membership transitions, fault injections —
+link-level packet events are converted on demand from the existing
+:class:`repro.netsim.trace.PacketTrace`), subscribers observe them
+live, and the whole stream serialises to a stable JSONL schema,
+``repro-trace/1``:
+
+* line 1 is a header object ``{"schema": "repro-trace/1"}``;
+* every following line is one record: ``{"type": <record type>,
+  ...fields...}`` with keys sorted, so output is byte-deterministic;
+* parsers ignore unknown fields (and unknown record types), so later
+  schema revisions can add fields without breaking old readers.
+
+Memory: the bus defaults to unbounded capture; construct with (or
+switch to) a ``capacity`` to run as a ring buffer keeping only the
+most recent records — long soak runs stay bounded.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+#: Schema identifier written to (and required from) JSONL trace files.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: msg_type enum member -> label cache for :func:`payload_label`.
+_ENUM_NAMES: Dict[Any, str] = {}
+
+
+def payload_label(datagram: Any) -> str:
+    """Short protocol-aware label for a datagram's innermost payload.
+
+    Duck-typed (``msg_type.name`` when present, else the payload class
+    name, else ``proto<n>``) so the telemetry layer needs no knowledge
+    of the CBT/IGMP message classes; :func:`repro.netsim.link.describe_payload`
+    is an alias of this function.
+    """
+    payload = datagram.payload
+    inner = getattr(payload, "payload", payload)
+    msg_type = getattr(inner, "msg_type", None)
+    if msg_type is not None:
+        # Enum ``.name`` is a descriptor lookup; cache it (hot path).
+        name = _ENUM_NAMES.get(msg_type)
+        if name is None:
+            name = _ENUM_NAMES[msg_type] = msg_type.name
+        return name
+    type_name = type(inner).__name__
+    if type_name not in ("bytes", "NoneType", "str"):
+        return type_name
+    return f"proto{datagram.proto}"
+
+
+def _opt_address(value: Optional[str]) -> Optional[IPv4Address]:
+    return IPv4Address(value) if value is not None else None
+
+
+def _opt_str(value: Optional[IPv4Address]) -> Optional[str]:
+    return str(value) if value is not None else None
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """Timestamped protocol milestone (joined, retry, quit, flushed…).
+
+    Field order keeps backwards compatibility with the original
+    ``repro.core.router.ProtocolEvent``; ``router`` names the emitting
+    router so bus-wide streams stay attributable.
+    """
+
+    time: float
+    kind: str
+    group: IPv4Address
+    detail: str = ""
+    router: str = ""
+
+    RECORD_TYPE = "protocol"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "router": self.router,
+            "kind": self.kind,
+            "group": _opt_str(self.group),
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ProtocolEvent":
+        return cls(
+            time=payload["time"],
+            kind=payload["kind"],
+            group=_opt_address(payload.get("group")),
+            detail=payload.get("detail", ""),
+            router=payload.get("router", ""),
+        )
+
+
+@dataclass(frozen=True)
+class PacketEvent:
+    """One link-level event (tx / rx / drop), flattened for export."""
+
+    time: float
+    kind: str
+    link: str
+    node: str
+    label: str
+    src: IPv4Address
+    dst: IPv4Address
+    proto: int
+    size: int
+    uid: int
+    note: str = ""
+
+    RECORD_TYPE = "packet"
+
+    @classmethod
+    def from_trace_record(cls, record: Any) -> "PacketEvent":
+        """Convert a :class:`repro.netsim.trace.TraceRecord`."""
+        datagram = record.datagram
+        return cls(
+            time=record.time,
+            kind=record.kind,
+            link=record.link_name,
+            node=record.node_name,
+            label=payload_label(datagram),
+            src=datagram.src,
+            dst=datagram.dst,
+            proto=datagram.proto,
+            size=datagram.size_bytes(),
+            uid=datagram.uid,
+            note=record.note,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "link": self.link,
+            "node": self.node,
+            "label": self.label,
+            "src": str(self.src),
+            "dst": str(self.dst),
+            "proto": self.proto,
+            "size": self.size,
+            "uid": self.uid,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PacketEvent":
+        return cls(
+            time=payload["time"],
+            kind=payload["kind"],
+            link=payload["link"],
+            node=payload["node"],
+            label=payload["label"],
+            src=IPv4Address(payload["src"]),
+            dst=IPv4Address(payload["dst"]),
+            proto=payload["proto"],
+            size=payload["size"],
+            uid=payload.get("uid", 0),
+            note=payload.get("note", ""),
+        )
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """IGMP membership transition on one router interface."""
+
+    time: float
+    router: str
+    vif: int
+    group: IPv4Address
+    present: bool
+
+    RECORD_TYPE = "membership"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "router": self.router,
+            "vif": self.vif,
+            "group": _opt_str(self.group),
+            "present": self.present,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "MembershipEvent":
+        return cls(
+            time=payload["time"],
+            router=payload["router"],
+            vif=payload["vif"],
+            group=_opt_address(payload.get("group")),
+            present=payload["present"],
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A fault-injection action firing (link flap, node outage…)."""
+
+    time: float
+    description: str
+
+    RECORD_TYPE = "fault"
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"time": self.time, "description": self.description}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "FaultEvent":
+        return cls(time=payload["time"], description=payload["description"])
+
+
+TraceRecordType = Union[ProtocolEvent, PacketEvent, MembershipEvent, FaultEvent]
+
+#: type name -> record class; the JSONL parser dispatches through this.
+RECORD_TYPES: Dict[str, type] = {
+    cls.RECORD_TYPE: cls
+    for cls in (ProtocolEvent, PacketEvent, MembershipEvent, FaultEvent)
+}
+
+
+class TraceBus:
+    """Pub/sub hub for typed trace records.
+
+    ``capacity=None`` captures everything; an integer capacity turns
+    the store into a ring buffer of the most recent records (live
+    subscribers still see every record as it is published).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.enabled = True
+        self._records: deque = deque(maxlen=capacity)
+        self._subscribers: List[Callable[[TraceRecordType], None]] = []
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._records.maxlen
+
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        """Switch ring-buffer size, keeping the most recent records."""
+        self._records = deque(self._records, maxlen=capacity)
+
+    def publish(self, record: TraceRecordType) -> None:
+        if not self.enabled:
+            return
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(
+        self, callback: Callable[[TraceRecordType], None]
+    ) -> Callable[[], None]:
+        """Register ``callback`` for every future record; returns an
+        unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+
+        return unsubscribe
+
+    def records(self, record_type: Optional[str] = None) -> List[TraceRecordType]:
+        if record_type is None:
+            return list(self._records)
+        return [r for r in self._records if r.RECORD_TYPE == record_type]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecordType]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+class EventLog:
+    """List-like per-producer event log that mirrors appends onto a bus.
+
+    Protocol instances keep their familiar ``.events`` sequence (tests
+    iterate, index, and compare them), while every appended record also
+    reaches the shared bus for cross-router analysis and export.
+    """
+
+    __slots__ = ("_items", "bus")
+
+    def __init__(self, bus: Optional[TraceBus] = None) -> None:
+        self._items: List[TraceRecordType] = []
+        self.bus = bus
+
+    def append(self, record: TraceRecordType) -> None:
+        self._items.append(record)
+        if self.bus is not None:
+            self.bus.publish(record)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[TraceRecordType]:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        return self._items[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventLog):
+            return self._items == other._items
+        if isinstance(other, list):
+            return self._items == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"EventLog({self._items!r})"
+
+
+# -- JSONL serialisation -------------------------------------------------
+
+
+def record_to_json(record: TraceRecordType) -> str:
+    """One record as a canonical (sorted-keys, compact) JSON line."""
+    payload = {"type": record.RECORD_TYPE}
+    payload.update(record.to_payload())
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def record_from_json(line: str) -> Optional[TraceRecordType]:
+    """Parse one JSONL line; None for unknown record types (forward
+    compatibility).  Unknown fields inside known types are ignored."""
+    payload = json.loads(line)
+    cls = RECORD_TYPES.get(payload.get("type"))
+    if cls is None:
+        return None
+    return cls.from_payload(payload)
+
+
+def dump_jsonl(records: Iterable[TraceRecordType], fh: IO[str]) -> int:
+    """Write the schema header plus one line per record; returns the
+    number of records written."""
+    fh.write(json.dumps({"schema": TRACE_SCHEMA}) + "\n")
+    count = 0
+    for record in records:
+        fh.write(record_to_json(record) + "\n")
+        count += 1
+    return count
+
+
+def dumps_jsonl(records: Iterable[TraceRecordType]) -> str:
+    import io
+
+    buffer = io.StringIO()
+    dump_jsonl(records, buffer)
+    return buffer.getvalue()
+
+
+def load_jsonl(fh: IO[str]) -> List[TraceRecordType]:
+    """Parse a ``repro-trace/1`` stream; raises ValueError on a missing
+    or mismatched schema header."""
+    lines = [line for line in fh.read().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace stream (missing schema header)")
+    header = json.loads(lines[0])
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(f"unsupported trace schema {schema!r}; want {TRACE_SCHEMA!r}")
+    out = []
+    for line in lines[1:]:
+        record = record_from_json(line)
+        if record is not None:
+            out.append(record)
+    return out
+
+
+def loads_jsonl(text: str) -> List[TraceRecordType]:
+    import io
+
+    return load_jsonl(io.StringIO(text))

@@ -64,6 +64,44 @@ class TestCLI:
         ) == 0
         assert target.exists()
 
+    def test_stats_table(self, capsys):
+        assert main(["stats", "--match", "cbt.router.R4.tx.*"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry snapshot" in out
+        assert "cbt.router.R4.tx.join_ack" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["cbt.router.R4.tx.hello"] > 0
+        assert "netsim.scheduler.events_processed" in snapshot
+
+    def test_stats_no_match(self, capsys):
+        assert main(["stats", "--match", "zz.nothing.*"]) == 0
+        assert "no matching instruments" in capsys.readouterr().out
+
+    def test_trace_human(self, capsys):
+        assert main(["trace", "--type", "protocol", "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "kind=joined" in out
+
+    def test_trace_jsonl(self, capsys, tmp_path):
+        from repro.telemetry import load_jsonl
+
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "--jsonl", str(target)]) == 0
+        with open(target) as fh:
+            records = load_jsonl(fh)
+        assert records
+        assert {r.RECORD_TYPE for r in records} >= {"protocol", "membership"}
+
+    def test_trace_jsonl_stdout(self, capsys):
+        assert main(["trace", "--jsonl", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('{"schema": "repro-trace/1"}')
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

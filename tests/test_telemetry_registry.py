@@ -1,0 +1,128 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_gauge_set_and_read(self):
+        gauge = Gauge("g")
+        assert gauge.read() == 0
+        gauge.set(7)
+        assert gauge.read() == 7
+
+    def test_gauge_callback_wins(self):
+        gauge = Gauge("g", callback=lambda: 42)
+        gauge.set(7)
+        assert gauge.read() == 42
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 5.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(8.0)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_value_and_total(self):
+        registry = MetricsRegistry()
+        registry.counter("cbt.router.R1.tx.hello").inc(2)
+        registry.counter("cbt.router.R2.tx.hello").inc(3)
+        registry.counter("cbt.router.R1.tx.join_request").inc()
+        assert registry.value("cbt.router.R1.tx.hello") == 2
+        assert registry.value("missing") == 0
+        assert registry.total("cbt.router.*.tx.hello") == 5
+        assert registry.total("cbt.router.*.tx.*") == 6
+
+    def test_matching_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        assert list(registry.matching("*")) == ["a", "b"]
+
+    def test_snapshot_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g", callback=lambda: 9)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["c"] == 1
+        assert snap["g"] == 9
+        assert snap["h.count"] == 1
+        assert snap["h.sum"] == pytest.approx(0.5)
+        assert snap["h.le_1"] == 1
+        assert snap["h.le_inf"] == 0
+        assert list(snap) == sorted(snap)
+
+    def test_diff_and_merge(self):
+        old = {"a": 1, "b": 2}
+        new = {"a": 4, "c": 1}
+        diff = MetricsRegistry.diff(new, old)
+        assert diff == {"a": 3, "b": -2, "c": 1}
+        merged = MetricsRegistry.merge(old, new)
+        assert merged == {"a": 5, "b": 2, "c": 1}
+        # Zero-difference keys are omitted.
+        assert MetricsRegistry.diff({"a": 1}, {"a": 1}) == {}
+
+
+class TestDisabledRegistry:
+    def test_disabled_hands_out_nulls(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.gauge("g") is NULL_GAUGE
+        assert registry.histogram("h") is NULL_HISTOGRAM
+
+    def test_null_instruments_are_inert(self):
+        NULL_COUNTER.inc(5)
+        NULL_GAUGE.set(5)
+        NULL_HISTOGRAM.observe(5)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.read() == 0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_disabled_snapshot_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x").inc()
+        assert registry.snapshot() == {}
+        assert registry.total("*") == 0
+
+    def test_disable_after_creation(self):
+        registry = MetricsRegistry()
+        live = registry.counter("x")
+        registry.disable()
+        assert registry.counter("y") is NULL_COUNTER
+        live.inc()  # pre-existing instruments keep counting
+        assert live.value == 1

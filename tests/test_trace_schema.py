@@ -1,0 +1,187 @@
+"""The ``repro-trace/1`` JSONL schema: round-trips, tolerance, golden trace."""
+
+import io
+import json
+import os
+from ipaddress import IPv4Address
+
+import pytest
+
+from repro.telemetry import (
+    EventLog,
+    FaultEvent,
+    MembershipEvent,
+    PacketEvent,
+    ProtocolEvent,
+    TRACE_SCHEMA,
+    TraceBus,
+    dump_jsonl,
+    dumps_jsonl,
+    load_jsonl,
+    loads_jsonl,
+    record_from_json,
+    record_to_json,
+)
+from repro.telemetry.tracebus import RECORD_TYPES
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "traces")
+
+SAMPLE_RECORDS = [
+    ProtocolEvent(
+        time=1.5,
+        kind="joined",
+        group=IPv4Address("239.0.0.1"),
+        detail="0.0220",
+        router="R3",
+    ),
+    PacketEvent(
+        time=2.25,
+        kind="tx",
+        link="L_R1_R2",
+        node="R1",
+        label="JOIN_REQUEST",
+        src=IPv4Address("10.0.0.1"),
+        dst=IPv4Address("10.0.0.2"),
+        proto=7,
+        size=36,
+        uid=17,
+        note="",
+    ),
+    MembershipEvent(
+        time=3.0,
+        router="R10",
+        vif=1,
+        group=IPv4Address("239.0.0.1"),
+        present=True,
+    ),
+    FaultEvent(time=4.0, description="link L_R2_R3 down"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "record", SAMPLE_RECORDS, ids=[r.RECORD_TYPE for r in SAMPLE_RECORDS]
+    )
+    def test_record_json_round_trip(self, record):
+        line = record_to_json(record)
+        payload = json.loads(line)
+        assert payload["type"] == record.RECORD_TYPE
+        assert list(payload) == sorted(payload)  # canonical key order
+        parsed = record_from_json(line)
+        assert parsed == record
+        assert type(parsed) is type(record)
+
+    def test_stream_round_trip(self):
+        text = dumps_jsonl(SAMPLE_RECORDS)
+        first = text.splitlines()[0]
+        assert json.loads(first) == {"schema": TRACE_SCHEMA}
+        assert loads_jsonl(text) == SAMPLE_RECORDS
+
+    def test_dump_reports_count(self):
+        buffer = io.StringIO()
+        assert dump_jsonl(SAMPLE_RECORDS, buffer) == len(SAMPLE_RECORDS)
+
+    def test_every_registered_type_covered(self):
+        # A new record type must gain a sample here (and a golden pin).
+        assert {r.RECORD_TYPE for r in SAMPLE_RECORDS} == set(RECORD_TYPES)
+
+
+class TestTolerance:
+    def test_unknown_fields_ignored(self):
+        line = record_to_json(SAMPLE_RECORDS[0])
+        payload = json.loads(line)
+        payload["future_field"] = {"nested": True}
+        parsed = record_from_json(json.dumps(payload))
+        assert parsed == SAMPLE_RECORDS[0]
+
+    def test_unknown_record_type_skipped(self):
+        stream = "\n".join(
+            [
+                json.dumps({"schema": TRACE_SCHEMA}),
+                json.dumps({"type": "hologram", "time": 1.0}),
+                record_to_json(SAMPLE_RECORDS[3]),
+            ]
+        )
+        assert loads_jsonl(stream) == [SAMPLE_RECORDS[3]]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError):
+            loads_jsonl(record_to_json(SAMPLE_RECORDS[0]))
+
+    def test_wrong_schema_rejected(self):
+        stream = json.dumps({"schema": "repro-trace/999"}) + "\n"
+        with pytest.raises(ValueError):
+            loads_jsonl(stream)
+
+
+class TestTraceBus:
+    def test_publish_and_filter(self):
+        bus = TraceBus()
+        for record in SAMPLE_RECORDS:
+            bus.publish(record)
+        assert bus.records() == SAMPLE_RECORDS
+        assert bus.records("fault") == [SAMPLE_RECORDS[3]]
+        assert len(bus) == 4
+
+    def test_subscribers_see_records(self):
+        bus = TraceBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.publish(SAMPLE_RECORDS[0])
+        unsubscribe()
+        bus.publish(SAMPLE_RECORDS[1])
+        assert seen == [SAMPLE_RECORDS[0]]
+
+    def test_ring_buffer_keeps_most_recent(self):
+        bus = TraceBus(capacity=2)
+        for record in SAMPLE_RECORDS:
+            bus.publish(record)
+        assert bus.records() == SAMPLE_RECORDS[-2:]
+        bus.set_capacity(None)
+        bus.publish(SAMPLE_RECORDS[0])
+        assert len(bus) == 3
+
+    def test_disabled_bus_drops_everything(self):
+        bus = TraceBus()
+        bus.enabled = False
+        bus.publish(SAMPLE_RECORDS[0])
+        assert bus.records() == []
+
+    def test_event_log_mirrors_to_bus(self):
+        bus = TraceBus()
+        log = EventLog(bus)
+        log.append(SAMPLE_RECORDS[0])
+        assert log == [SAMPLE_RECORDS[0]]
+        assert bus.records() == [SAMPLE_RECORDS[0]]
+        assert log[0] is SAMPLE_RECORDS[0]
+        assert len(log) == 1 and bool(log)
+
+
+class TestGoldenFigure1:
+    """The Figure-1 walkthrough trace is pinned byte-for-byte.
+
+    Regenerate after an intentional behaviour change with::
+
+        PYTHONPATH=src python -m repro trace --jsonl tests/traces/figure1.jsonl
+    """
+
+    def _walkthrough_stream(self) -> str:
+        from repro.cli import _run_figure1
+
+        net, _domain, _group, _members = _run_figure1()
+        return dumps_jsonl(net.telemetry.bus.records())
+
+    def test_golden_trace_matches(self):
+        with open(os.path.join(GOLDEN_DIR, "figure1.jsonl")) as fh:
+            golden = fh.read()
+        assert self._walkthrough_stream() == golden
+
+    def test_golden_trace_parses(self):
+        with open(os.path.join(GOLDEN_DIR, "figure1.jsonl")) as fh:
+            records = load_jsonl(fh)
+        assert records  # non-empty
+        kinds = {r.RECORD_TYPE for r in records}
+        assert "protocol" in kinds and "membership" in kinds
+        # Every joined member produced a membership gain somewhere.
+        joined = [r for r in records if r.RECORD_TYPE == "protocol" and r.kind == "joined"]
+        assert joined
