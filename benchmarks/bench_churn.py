@@ -10,7 +10,6 @@ This bench sweeps churn intensity on a fixed topology and reports CBT
 control messages per membership event, which should stay ~constant.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.harness.experiment import Experiment

@@ -7,7 +7,6 @@ Times the byte-level encode/decode paths of the control header
 
 from ipaddress import IPv4Address
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.core.constants import JoinSubcode, MessageType

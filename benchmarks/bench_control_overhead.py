@@ -10,7 +10,6 @@ quantity compared is link transmissions carrying the protocol's
 operation for one data packet from one sender, plus control messages.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.harness.experiment import Experiment

@@ -12,7 +12,6 @@ core stay cut off; with >= 2 cores the group re-homes on a secondary,
 and additional cores add little on a well-connected topology.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.harness.experiment import Experiment

@@ -13,7 +13,6 @@ SPT baseline is exactly 1.0.
 import random
 from statistics import mean
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.baselines.trees import shared_tree

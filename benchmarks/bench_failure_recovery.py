@@ -8,7 +8,6 @@ timers linearly — the spec's rationale for making every value
 configurable.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, group_address

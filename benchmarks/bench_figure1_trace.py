@@ -11,7 +11,6 @@ text states:
 * B's leave makes R2 quit while R3 (child R1 remains) stays.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, build_figure1, group_address

@@ -9,7 +9,6 @@ Expectation: identical delivery in both modes; native mode saves the
 32-byte CBT header on every tree hop and the en/de-capsulation work.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, build_figure1, group_address

@@ -6,7 +6,6 @@ cloud carries (the CBT side stays O(1); the DVMRP side floods as it
 always does).
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, group_address

@@ -10,7 +10,6 @@ Expectation: per-group keepalives grow linearly in G; aggregated
 keepalives stay constant per (child, parent) pair.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, group_address

@@ -9,7 +9,6 @@ same group on the same topology under both procedures, and we measure
 host-observed join latency and the control messages spent.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, build_figure1, group_address

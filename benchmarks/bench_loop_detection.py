@@ -5,7 +5,6 @@ fast a loop is detected (one traversal of the looped path), how many
 control messages the episode costs, and that the subtree re-homes.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro import CBTDomain, build_figure5_loop, group_address

@@ -9,7 +9,6 @@ static model and the packet-level system agree.
 
 from statistics import mean
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.app import MulticastReceiver, MulticastSender

@@ -9,7 +9,6 @@ reports simulator throughput (events/second) as an engineering datum.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.harness.experiment import Experiment

@@ -7,7 +7,6 @@ on-tree routers; flood-and-prune state grows with senders x groups and
 lands in every router.
 """
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.harness.experiment import Experiment

@@ -13,7 +13,6 @@ with the gap growing in S.
 import random
 from statistics import mean
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.baselines.trees import shared_tree, source_trees_for

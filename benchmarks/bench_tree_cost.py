@@ -14,7 +14,6 @@ Steiner heuristic.
 import random
 from statistics import mean
 
-import pytest
 
 from benchmarks.conftest import publish
 from repro.baselines.trees import (

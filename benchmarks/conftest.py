@@ -3,17 +3,24 @@
 Each benchmark regenerates one table/figure of the evaluation (see
 DESIGN.md's experiment index).  Results are printed and also written
 to ``benchmarks/results/<exp_id>.txt`` so EXPERIMENTS.md can cite them.
+
+Set ``REPRO_RESULTS_DIR`` to redirect the text artifacts (CI sets it
+to a gitignored directory so benchmark runs never dirty the tree; the
+committed copies under ``benchmarks/results/`` are refreshed
+deliberately, not as a side effect).
 """
 
 from __future__ import annotations
 
 import os
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
 
 
 def publish(exp_id: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+    """Print a result table and persist it under the results dir."""
     print()
     print(text)
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -3,10 +3,10 @@
 A fixed micro+macro suite over the simulator's hot paths — route
 lookup, SPF recomputation, scheduler churn, wire-format codecs, and
 the scale sweep — that writes machine-readable ``BENCH_<name>.json``
-artifacts at the repository root.  Committed artifacts give every
-future PR a trajectory to compare against; the built-in check fails
-loudly (exit 1) only on >3x regressions, a threshold wide enough to
-be robust to machine noise.
+artifacts under the gitignored ``bench-artifacts/`` directory.
+Committed baselines in ``benchmarks/baselines/`` give every future PR
+a trajectory to compare against; the built-in check fails loudly
+(exit 1) only when a *gated* (drift-immune) metric regresses >3x.
 
 See docs/PERFORMANCE.md for the metric definitions and the reading
 guide.

@@ -1,8 +1,9 @@
 """Entry point: ``python -m benchmarks.perf [--quick] [--only NAME ...]``.
 
 Runs the perf-regression suite, writes ``BENCH_<name>.json`` artifacts
-at the repository root, and exits 1 when any measured metric is more
-than 3x worse than its stored baseline (see docs/PERFORMANCE.md).
+under ``bench-artifacts/`` (or ``--output-dir``), and exits 1 when any
+gated metric is more than 3x worse than its stored baseline (see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -42,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output-dir",
-        help="write BENCH_*.json here instead of the repository root",
+        help="write BENCH_*.json here instead of bench-artifacts/",
     )
     return parser
 

@@ -17,7 +17,6 @@ has every participant transmit, and prints:
 Run:  python examples/conference.py
 """
 
-import random
 
 from repro.baselines.trees import shared_tree, source_trees_for
 from repro.harness.formatting import format_table

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from ipaddress import IPv4Address
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.netsim.link import PointToPointLink, Subnet
+from repro.netsim.link import PointToPointLink
 
 
 def render_tree(domain, group: IPv4Address) -> str:

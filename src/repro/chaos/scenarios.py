@@ -14,7 +14,7 @@ catalogue works unchanged for real-time and scaled-timer runs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from ipaddress import IPv4Address
 from typing import Callable, Dict, List, Optional, Sequence
 

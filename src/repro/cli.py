@@ -9,6 +9,7 @@ Commands:
 * ``topology``     — generate a topology, build a group, show the tree;
 * ``experiments``  — list the experiment index (benchmarks);
 * ``bench``        — run the perf-regression suite (``BENCH_*.json``);
+* ``ci``           — parallel sharded CI tiers (``repro-ci-report/1``);
 * ``stats``        — metrics-registry snapshot after the Figure-1 run;
 * ``trace``        — structured trace records (``repro-trace/1`` JSONL).
 """
@@ -244,6 +245,101 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check=not args.no_check,
         output_dir=args.output_dir,
     )
+
+
+def cmd_ci(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.harness.tiers import (
+        TIERS,
+        build_tier,
+        replay_unit,
+        run_ci,
+        write_report,
+    )
+
+    if args.replay_shard:
+        result, error = replay_unit(args.report, args.replay_shard)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        print(f"{result.unit_id}: {result.status} "
+              f"({result.wall_seconds:.1f}s) fingerprint={result.fingerprint}")
+        for line in result.detail:
+            print(f"  {line}")
+        return 0 if result.ok else 1
+
+    if args.tier not in TIERS:
+        print(
+            f"unknown tier {args.tier!r}; known: {', '.join(TIERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        shard_index, shard_count = (int(p) for p in args.shard.split("/", 1))
+    except ValueError:
+        print(f"--shard must look like i/n, got {args.shard!r}", file=sys.stderr)
+        return 2
+    if not 0 <= shard_index < shard_count:
+        print(
+            f"--shard index {shard_index} outside 0..{shard_count - 1}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.list:
+        units = build_tier(args.tier, seed=args.seed, bench_dir=args.bench_dir)
+        from repro.harness.parallel import shard_units
+
+        for unit in shard_units(units, shard_index, shard_count):
+            print(f"  {unit.unit_id:40s} timeout={unit.timeout:g}s")
+        return 0
+
+    workers = args.workers
+    if workers is None:
+        workers = min(8, os.cpu_count() or 1)
+
+    def progress(unit, result) -> None:
+        print(
+            f"  {result.unit_id:40s} {result.status:8s} "
+            f"{result.wall_seconds:6.1f}s attempts={result.attempts}"
+        )
+
+    report = run_ci(
+        args.tier,
+        workers=workers,
+        shard=(shard_index, shard_count),
+        seed=args.seed,
+        bench_dir=args.bench_dir,
+        progress=progress if args.verbose else None,
+    )
+    write_report(report, args.report)
+    merged = report["merged"]
+    print(
+        f"tier={report['tier']} shard={shard_index}/{shard_count} "
+        f"workers={workers} units={len(report['units'])} "
+        f"counts={merged['counts']}"
+    )
+    print(f"merged fingerprint: {merged['fingerprint']}")
+    for gate in report["gates"]:
+        verdict = (
+            "SKIP" if gate["skipped"] else ("ok" if gate["passed"] else "FAIL")
+        )
+        print(f"  gate {gate['name']:18s} {verdict:4s} {gate['detail']}")
+    print(f"report: {args.report}")
+    if not report["ok"]:
+        failed = [u for u in report["units"] if u["status"] not in ("ok", "skipped")]
+        for unit in failed:
+            print(f"\n-- {unit['unit_id']} ({unit['status']}) --", file=sys.stderr)
+            for line in unit["detail"]:
+                print(f"  {line}", file=sys.stderr)
+            print(
+                f"  reproduce locally: repro ci --replay-shard {unit['unit_id']} "
+                f"--report {args.report}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -544,9 +640,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-check", action="store_true", help="skip the 3x regression gate"
     )
     bench.add_argument(
-        "--output-dir", help="artifact directory (default: repository root)"
+        "--output-dir", help="artifact directory (default: bench-artifacts/)"
     )
     bench.set_defaults(func=cmd_bench)
+
+    ci = sub.add_parser(
+        "ci",
+        help="run a named CI tier across parallel shards "
+        "(writes a repro-ci-report/1 JSON)",
+    )
+    ci.add_argument(
+        "--tier",
+        default="smoke",
+        help="lint | smoke | chaos | explore | tier1 | bench | full | nightly",
+    )
+    ci.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: min(8, cpu count); 0 = inline)",
+    )
+    ci.add_argument(
+        "--shard",
+        default="0/1",
+        metavar="I/N",
+        help="run shard I of N for cross-machine splitting (default 0/1)",
+    )
+    ci.add_argument(
+        "--seed", type=int, default=0, help="base seed for derived cell seeds"
+    )
+    ci.add_argument(
+        "--report",
+        default="repro-ci-report.json",
+        metavar="PATH",
+        help="where the repro-ci-report/1 JSON is written",
+    )
+    ci.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="BENCH_*.json output directory (default: bench-artifacts/)",
+    )
+    ci.add_argument(
+        "--list", action="store_true", help="print the shard's units and exit"
+    )
+    ci.add_argument(
+        "--replay-shard",
+        metavar="UNIT_ID",
+        help="re-run one unit from --report inline (local red-shard debugging)",
+    )
+    ci.add_argument(
+        "--verbose", action="store_true", help="print each unit as it finishes"
+    )
+    ci.set_defaults(func=cmd_ci)
 
     chaos = sub.add_parser(
         "chaos",

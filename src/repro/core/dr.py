@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from ipaddress import IPv4Address
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.netsim.nic import Interface
 

@@ -31,9 +31,9 @@ UDP port.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from ipaddress import IPv4Address
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.constants import CBT_AUX_PORT, JoinSubcode
 from repro.netsim.address import ALL_CBT_ROUTERS, ALL_SYSTEMS

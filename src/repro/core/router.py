@@ -1609,7 +1609,7 @@ class CBTProtocol:
                 self.timers.pend_join_interval, self._make_rejoin_retry(group)
             )
 
-    # -- HELLO / neighbour discovery ----------------------------------------------------------------
+    # -- HELLO / neighbour discovery ----------------------------------------
 
     def _hello_tick(self) -> None:
         now = self.router.scheduler.now
@@ -1724,7 +1724,7 @@ class CBTProtocol:
             if group not in self._quitting:
                 self._start_quit(group, entry.parent_address)
 
-    # -- bookkeeping -----------------------------------------------------------------------------------
+    # -- bookkeeping ---------------------------------------------------------
 
     def _record(self, kind: str, group: IPv4Address, detail: str = "") -> None:
         self.events.append(

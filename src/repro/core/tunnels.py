@@ -14,9 +14,9 @@ routing for cores that have rankings configured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from ipaddress import IPv4Address
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.netsim.nic import Interface
 

@@ -30,7 +30,7 @@ same scenario + schedule always reproduces the same run.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.explore.fingerprint import domain_fingerprint

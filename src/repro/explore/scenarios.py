@@ -13,7 +13,7 @@ applied against ``members``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from ipaddress import IPv4Address
 from typing import Callable, Dict, List, Optional, Tuple
 

@@ -110,6 +110,10 @@ class ScenarioResult:
     #: Protocol event trace accompanying a violation.
     trace: List[str] = field(default_factory=list)
     audit_checks: int = 0
+    #: End-of-run telemetry snapshot (deterministic for a deterministic
+    #: cell).  Excluded from :meth:`fingerprint`; the parallel CI layer
+    #: folds these with :meth:`MetricsRegistry.merge`.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def fingerprint(self) -> Tuple:
         """Deterministic identity of the run (no wall-clock anywhere)."""
@@ -232,6 +236,7 @@ def run_scenario(
         _probe_delivery(network, members, group) if recovered else 0.0
     )
     auditor.stop()
+    telemetry_snapshot = dict(network.telemetry.registry.snapshot())
     return ScenarioResult(
         scenario=scenario,
         topology=topology,
@@ -245,6 +250,7 @@ def run_scenario(
         violations=violations,
         trace=trace,
         audit_checks=auditor.checks_run,
+        metrics=telemetry_snapshot,
     )
 
 

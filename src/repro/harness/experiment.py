@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Iterable, List, Sequence
 
 from repro.harness.formatting import format_table
 

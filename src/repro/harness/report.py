@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict
 from typing import Dict, List, Optional
 
 from repro.netsim.trace import PacketTrace

@@ -1,0 +1,418 @@
+"""Named CI tiers, gate evaluation, and the ``repro-ci-report/1``
+document behind the ``repro ci`` CLI verb.
+
+A *tier* is a deterministic list of :class:`~repro.harness.parallel.WorkUnit`
+built entirely from ``(tier name, base seed)`` — unit identity and every
+parameter (including each cell's :func:`~repro.netsim.faults.derive_seed`
+sub-seed) are pinned before any worker starts, so the merged fingerprint
+of a tier run is byte-identical for any ``--workers`` count, any
+``--shard i/n`` split, and any completion order.
+
+Tiers (see docs/CI.md for the full contract):
+
+========  ==================================================================
+lint      ruff (or the built-in fallback) over src/tests/benchmarks/examples
+smoke     quick chaos cells + a bounded exploration + a fast pytest group
+chaos     the full chaos campaign, one unit per (topology, scenario, cell)
+explore   every explorer scenario at full depth, one unit per scenario
+tier1     the whole pytest suite in round-robin file groups + coverage floors
+bench     the perf-regression suite, one unit per benchmark module
+full      chaos + explore + tier1 + bench (quick) + lint
+nightly   full with deeper exploration, more chaos cells, full-size benches
+========  ==================================================================
+
+The ``repro-ci-report/1`` JSON document captures the tier, the unit
+records (status/attempts/wall/fingerprint/detail), the deterministic
+merged fingerprint, merged telemetry metrics, and the gate verdicts.
+``repro ci --replay-shard UNIT_ID`` re-runs any unit from a report
+inline for local debugging.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.parallel import (
+    REPO_ROOT,
+    UnitResult,
+    WorkUnit,
+    merge_metrics,
+    merged_fingerprint,
+    run_units,
+    shard_units,
+)
+from repro.netsim.faults import derive_seed
+
+REPORT_SCHEMA = "repro-ci-report/1"
+
+#: Default bench-artifact directory for CI runs (gitignored).
+DEFAULT_BENCH_DIR = os.path.join(REPO_ROOT, "bench-artifacts")
+
+#: Fast pytest files used by the smoke tier: end-to-end protocol
+#: integration, the determinism pin, and the CLI surface.
+SMOKE_PYTEST_FILES = (
+    "tests/test_integration.py",
+    "tests/test_determinism.py",
+    "tests/test_cli.py",
+)
+
+#: Number of pytest file groups in the tier1 matrix.  Fixed (not a
+#: function of ``--workers``) so unit identity — and therefore the
+#: merged fingerprint — is independent of the worker count.
+PYTEST_GROUPS = 8
+
+
+def pytest_groups(group_count: int = PYTEST_GROUPS) -> List[List[str]]:
+    """Round-robin the sorted test files into ``group_count`` groups."""
+    tests_dir = os.path.join(REPO_ROOT, "tests")
+    files = sorted(
+        f"tests/{name}"
+        for name in os.listdir(tests_dir)
+        if name.startswith("test_") and name.endswith(".py")
+    )
+    groups: List[List[str]] = [[] for _ in range(group_count)]
+    for index, name in enumerate(files):
+        groups[index % group_count].append(name)
+    return [group for group in groups if group]
+
+
+def _chaos_units(seed: int, reps: Dict[str, int]) -> List[WorkUnit]:
+    from repro.chaos.scenarios import SCENARIOS
+    from repro.harness.campaign import TOPOLOGIES
+
+    units = []
+    for topology in sorted(TOPOLOGIES):
+        for scenario in sorted(SCENARIOS):
+            for rep in range(reps.get(topology, 1)):
+                cell_seed = derive_seed(seed, "chaos", topology, scenario, rep)
+                units.append(
+                    WorkUnit.make(
+                        "chaos",
+                        f"chaos/{topology}/{scenario}/{rep}",
+                        {
+                            "topology": topology,
+                            "scenario": scenario,
+                            "seed": cell_seed,
+                        },
+                    )
+                )
+    return units
+
+
+def _chaos_quick_units(seed: int) -> List[WorkUnit]:
+    from repro.chaos.scenarios import QUICK_SCENARIOS
+
+    return [
+        WorkUnit.make(
+            "chaos",
+            f"chaos/figure1/{scenario}/0",
+            {
+                "topology": "figure1",
+                "scenario": scenario,
+                "seed": derive_seed(seed, "chaos", "figure1", scenario, 0),
+            },
+        )
+        for scenario in sorted(QUICK_SCENARIOS)
+    ]
+
+
+def _explore_units(depth: int, drop_budget: int = 1) -> List[WorkUnit]:
+    from repro.explore.scenarios import SCENARIOS
+
+    return [
+        WorkUnit.make(
+            "explore",
+            f"explore/{name}/d{depth}",
+            {"scenario": name, "depth": depth, "drop_budget": drop_budget},
+        )
+        for name in sorted(SCENARIOS)
+    ]
+
+
+def _bench_units(quick: bool, bench_dir: Optional[str]) -> List[WorkUnit]:
+    if REPO_ROOT not in sys.path:
+        sys.path.insert(0, REPO_ROOT)
+    from benchmarks.perf.suite import BENCHMARKS
+
+    return [
+        WorkUnit.make(
+            "bench",
+            f"bench/{name}",
+            {
+                "name": name,
+                "quick": quick,
+                "output_dir": bench_dir or DEFAULT_BENCH_DIR,
+            },
+        )
+        for name in sorted(BENCHMARKS)
+    ]
+
+
+def _pytest_units(tag: str, groups: Sequence[Sequence[str]]) -> List[WorkUnit]:
+    return [
+        WorkUnit.make(
+            "pytest",
+            f"pytest/{tag}/g{index}",
+            {"paths": list(group)},
+        )
+        for index, group in enumerate(groups)
+    ]
+
+
+def _lint_unit() -> WorkUnit:
+    return WorkUnit.make("lint", "lint", {})
+
+
+def _coverage_unit() -> WorkUnit:
+    return WorkUnit.make("coverage", "coverage", {})
+
+
+def build_tier(
+    tier: str, seed: int = 0, bench_dir: Optional[str] = None
+) -> List[WorkUnit]:
+    """Construct the unit list for a named tier (sorted by unit_id)."""
+    if tier == "lint":
+        units = [_lint_unit()]
+    elif tier == "smoke":
+        units = (
+            _chaos_quick_units(seed)
+            + [
+                WorkUnit.make(
+                    "explore",
+                    "explore/joins-race/d4",
+                    {"scenario": "joins-race", "depth": 4, "drop_budget": 1},
+                )
+            ]
+            + _pytest_units("smoke", [list(SMOKE_PYTEST_FILES)])
+        )
+    elif tier == "chaos":
+        units = _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+    elif tier == "explore":
+        units = _explore_units(depth=4)
+    elif tier == "tier1":
+        units = _pytest_units("tier1", pytest_groups()) + [_coverage_unit()]
+    elif tier == "bench":
+        units = _bench_units(quick=True, bench_dir=bench_dir)
+    elif tier == "full":
+        units = (
+            [_lint_unit()]
+            + _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+            + _explore_units(depth=4)
+            + _pytest_units("tier1", pytest_groups())
+            + [_coverage_unit()]
+            + _bench_units(quick=True, bench_dir=bench_dir)
+        )
+    elif tier == "nightly":
+        units = (
+            [_lint_unit()]
+            + _chaos_units(seed, {"figure1": 5, "grid9": 3, "waxman16": 3})
+            + _explore_units(depth=5)
+            + _pytest_units("tier1", pytest_groups())
+            + [_coverage_unit()]
+            + _bench_units(quick=False, bench_dir=bench_dir)
+        )
+    else:
+        raise KeyError(
+            f"unknown tier {tier!r}; known: {', '.join(TIERS)}"
+        )
+    return sorted(units, key=lambda u: u.unit_id)
+
+
+TIERS: Tuple[str, ...] = (
+    "lint",
+    "smoke",
+    "chaos",
+    "explore",
+    "tier1",
+    "bench",
+    "full",
+    "nightly",
+)
+
+
+# -- gates ------------------------------------------------------------------
+
+
+@dataclass
+class Gate:
+    """One pass/fail verdict in the report (``skipped`` still passes)."""
+
+    name: str
+    passed: bool
+    skipped: bool
+    detail: str
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "skipped": self.skipped,
+            "detail": self.detail,
+        }
+
+
+def evaluate_gates(results: Sequence[UnitResult]) -> List[Gate]:
+    """Deterministic gate verdicts over the merged results."""
+    gates: List[Gate] = []
+    failed = [r for r in results if not r.ok]
+    gates.append(
+        Gate(
+            name="units",
+            passed=not failed,
+            skipped=False,
+            detail=(
+                "all units passed"
+                if not failed
+                else "failed: "
+                + ", ".join(f"{r.unit_id}({r.status})" for r in failed[:20])
+            ),
+        )
+    )
+    lint = [r for r in results if r.kind == "lint"]
+    if lint:
+        bad = [r for r in lint if not r.ok]
+        gates.append(
+            Gate(
+                name="lint",
+                passed=not bad,
+                skipped=False,
+                detail="clean" if not bad else "; ".join(bad[0].detail[:5]),
+            )
+        )
+    bench = [r for r in results if r.kind == "bench"]
+    if bench:
+        regressions = [
+            line
+            for r in bench
+            for line in r.detail
+            if line.startswith("REGRESSION")
+        ]
+        bad = [r for r in bench if not r.ok]
+        gates.append(
+            Gate(
+                name="bench-regression",
+                passed=not bad,
+                skipped=False,
+                detail=(
+                    "no gated metric regressed beyond the 3x factor"
+                    if not bad
+                    else "; ".join(regressions[:10])
+                    or "bench unit failed: "
+                    + ", ".join(r.unit_id for r in bad)
+                ),
+            )
+        )
+    coverage = [r for r in results if r.kind == "coverage"]
+    if coverage:
+        skipped = all(r.status == "skipped" for r in coverage)
+        bad = [r for r in coverage if not r.ok]
+        gates.append(
+            Gate(
+                name="coverage-floors",
+                passed=not bad,
+                skipped=skipped,
+                detail="; ".join(
+                    line for r in coverage for line in r.detail[:4]
+                ),
+            )
+        )
+    return gates
+
+
+# -- the repro-ci-report/1 document -----------------------------------------
+
+
+def build_report(
+    tier: str,
+    seed: int,
+    workers: int,
+    shard: Tuple[int, int],
+    units: Sequence[WorkUnit],
+    results: Sequence[UnitResult],
+) -> Dict[str, object]:
+    by_id = {u.unit_id: u for u in units}
+    ordered = sorted(results, key=lambda r: r.unit_id)
+    gates = evaluate_gates(ordered)
+    counts: Dict[str, int] = {}
+    for result in ordered:
+        counts[result.status] = counts.get(result.status, 0) + 1
+    return {
+        "schema": REPORT_SCHEMA,
+        "tier": tier,
+        "seed": seed,
+        "workers": workers,
+        "shard": {"index": shard[0], "count": shard[1]},
+        "python": sys.version.split()[0],
+        "units": [r.to_record(by_id.get(r.unit_id)) for r in ordered],
+        "merged": {
+            "fingerprint": merged_fingerprint(ordered),
+            "metrics": merge_metrics(ordered),
+            "counts": dict(sorted(counts.items())),
+            "wall_seconds": round(sum(r.wall_seconds for r in ordered), 3),
+        },
+        "gates": [g.to_record() for g in gates],
+        "ok": all(g.passed for g in gates),
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> str:
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported schema {report.get('schema')!r} "
+            f"(expected {REPORT_SCHEMA})"
+        )
+    return report
+
+
+def run_ci(
+    tier: str,
+    workers: int = 1,
+    shard: Tuple[int, int] = (0, 1),
+    seed: int = 0,
+    bench_dir: Optional[str] = None,
+    progress: Optional[Callable[[WorkUnit, UnitResult], None]] = None,
+) -> Dict[str, object]:
+    """Build the tier, shard it, fan it out, and return the report."""
+    units = build_tier(tier, seed=seed, bench_dir=bench_dir)
+    selected = shard_units(units, shard[0], shard[1])
+    results = run_units(selected, workers=workers, progress=progress)
+    return build_report(tier, seed, workers, shard, selected, results)
+
+
+def replay_unit(
+    report_path: str, unit_id: str
+) -> Tuple[Optional[UnitResult], Optional[str]]:
+    """Re-run one unit from a report inline; ``(result, error)``."""
+    report = load_report(report_path)
+    record = next(
+        (u for u in report["units"] if u["unit_id"] == unit_id), None
+    )
+    if record is None:
+        known = ", ".join(u["unit_id"] for u in report["units"][:40])
+        return None, f"unit {unit_id!r} not in report (units: {known})"
+    if "params" not in record:
+        return None, f"report record for {unit_id!r} carries no params"
+    unit = WorkUnit.make(
+        kind=str(record["kind"]),
+        unit_id=str(record["unit_id"]),
+        params=dict(record["params"]),
+        timeout=float(record.get("timeout", 600.0)),
+    )
+    results = run_units([unit], workers=0)
+    return results[0], None

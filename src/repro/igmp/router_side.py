@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from ipaddress import IPv4Address
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.netsim.address import ALL_SYSTEMS
 from repro.netsim.engine import PeriodicTimer, Timer
@@ -310,7 +310,9 @@ class IGMPRouterAgent:
             timeout, self._make_expiry(interface, group, timeout)
         )
 
-    def _make_expiry(self, interface: Interface, group: IPv4Address, timeout: float) -> Callable[[], None]:
+    def _make_expiry(
+        self, interface: Interface, group: IPv4Address, timeout: float
+    ) -> Callable[[], None]:
         def expire() -> None:
             state = self._state_for(interface)
             last_heard = state.members.get(group)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from ipaddress import IPv4Address
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.igmp.messages import CoreReport, MembershipQuery, MembershipReport
 from repro.netsim.engine import Scheduler

@@ -15,7 +15,7 @@ context).
 from __future__ import annotations
 
 from statistics import mean
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.topology.graph import Tree
 

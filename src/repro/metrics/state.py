@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean
-from typing import Dict, List
+from typing import Dict
 
 
 @dataclass(frozen=True)

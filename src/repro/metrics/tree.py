@@ -7,9 +7,9 @@ per-source trees for DVMRP/MOSPF.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Set, Tuple
+from typing import Iterable, Sequence, Set, Tuple
 
-from repro.topology.graph import Graph, Tree
+from repro.topology.graph import Tree
 
 
 def tree_cost(tree: Tree) -> float:

@@ -285,7 +285,9 @@ class Link:
                 self._drop_counters[reason] = counter
             counter.value += 1
 
-    def _record(self, kind: str, interface: Interface, datagram: IPDatagram, note: str = "") -> None:
+    def _record(
+        self, kind: str, interface: Interface, datagram: IPDatagram, note: str = ""
+    ) -> None:
         self.trace.record(
             TraceRecord(
                 time=self.scheduler.now,

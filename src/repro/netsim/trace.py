@@ -9,7 +9,6 @@ latencies from the same records.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from ipaddress import IPv4Address
 from typing import Callable, Iterator, List, Optional
 
 from repro.netsim.packet import IPDatagram

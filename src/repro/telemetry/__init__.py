@@ -14,7 +14,7 @@ telemetry, never the reverse).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Union
 
 from repro.telemetry.registry import (
     Counter,

@@ -10,7 +10,7 @@ stay deterministic and uniformly wired.
 from __future__ import annotations
 
 from ipaddress import IPv4Address
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.netsim.address import AddressAllocator
 from repro.netsim.engine import Scheduler

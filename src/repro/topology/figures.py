@@ -30,7 +30,6 @@ the walk-through starts from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 from repro.topology.builder import Network
 

@@ -2,14 +2,9 @@
 
 import pytest
 
-from repro.app import APP_PORT, AppPayload, MulticastReceiver, MulticastSender, StreamStats
-from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
-from repro.metrics.latency import (
-    delivery_latencies,
-    delivery_latency,
-    latency_summary,
-)
-from repro import CBTDomain, build_figure1, group_address
+from repro.app import APP_PORT, MulticastReceiver, MulticastSender, StreamStats
+from repro.metrics.latency import delivery_latency, latency_summary
+from repro import group_address
 from repro.netsim.address import group_address as ga
 
 

@@ -19,7 +19,6 @@ joins) and the data plane (packets follow tree branches, not routing).
         LEAF -- member LAN
 """
 
-import pytest
 
 from repro import CBTDomain, group_address
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data

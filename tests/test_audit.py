@@ -1,10 +1,7 @@
 """Tests for the domain audit (protocol fsck)."""
 
-import pytest
 
 from repro.core.audit import audit_domain, errors, warnings
-from repro.harness.scenarios import FAST_TIMERS
-from tests.conftest import join_members
 
 
 class TestHealthyDomains:

@@ -13,7 +13,6 @@ from repro.baselines.trees import (
     union_edge_count,
 )
 from repro.harness.scenarios import build_dvmrp_group, send_data
-from repro.netsim.address import group_address
 from repro.topology.generators import waxman_graph, waxman_network
 from repro.topology.graph import Graph
 

@@ -4,7 +4,7 @@ from ipaddress import IPv4Address
 
 import pytest
 
-from repro import CBTDomain, build_figure1, group_address
+from repro import CBTDomain, group_address
 from repro.core.bootstrap import GroupCoordinator
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
 

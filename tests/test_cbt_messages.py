@@ -5,14 +5,7 @@ from ipaddress import IPv4Address
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.constants import (
-    JoinAckSubcode,
-    JoinSubcode,
-    MAX_CORES,
-    MessageType,
-    OFF_TREE,
-    ON_TREE,
-)
+from repro.core.constants import JoinSubcode, MAX_CORES, MessageType, OFF_TREE, ON_TREE
 from repro.core.messages import (
     CBTControlMessage,
     CBTDataPacket,

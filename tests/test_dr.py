@@ -3,7 +3,7 @@
 from ipaddress import IPv4Address
 
 from repro import CBTDomain, group_address
-from repro.core.dr import DRElection, NeighbourTable
+from repro.core.dr import NeighbourTable
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
 from repro.topology.builder import Network
 

@@ -7,7 +7,6 @@ timeout, after which membership reports flow to the new querier and
 tree state is rebuilt.
 """
 
-import pytest
 
 from repro import CBTDomain, group_address
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data

@@ -1,7 +1,6 @@
 """Failure recovery tests (spec §6.1, §6.2)."""
 
-from repro import CBTDomain, group_address
-from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.harness.scenarios import FAST_TIMERS, send_data
 from tests.conftest import join_members
 
 

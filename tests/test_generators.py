@@ -11,7 +11,6 @@ from repro.topology.generators import (
     transit_stub_graph,
     waxman_graph,
 )
-from repro.topology.figures import build_figure1
 
 
 class TestWaxman:

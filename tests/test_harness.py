@@ -5,7 +5,6 @@ import pytest
 from repro.harness.experiment import Experiment, SweepResult
 from repro.harness.formatting import format_series, format_table
 from repro.harness.scenarios import (
-    FAST_TIMERS,
     build_cbt_group,
     build_dvmrp_group,
     pick_members,

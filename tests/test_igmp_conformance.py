@@ -1,6 +1,5 @@
 """Additional IGMP conformance details."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.igmp.host import IGMPHostAgent, _response_delay

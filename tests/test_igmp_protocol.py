@@ -2,10 +2,8 @@
 
 from ipaddress import IPv4Address
 
-import pytest
 
 from repro.igmp.host import IGMPHostAgent
-from repro.igmp.messages import CoreReport, MembershipReport
 from repro.igmp.router_side import IGMPConfig, IGMPRouterAgent
 from repro.netsim.address import group_address
 from repro.topology.builder import Network

@@ -12,10 +12,8 @@ global invariants the protocol must maintain:
 
 import pytest
 
-from repro import CBTDomain, group_address
-from repro.baselines.trees import shared_tree
+from repro import group_address
 from repro.harness.scenarios import (
-    FAST_IGMP,
     FAST_TIMERS,
     build_cbt_group,
     pick_members,

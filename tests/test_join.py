@@ -1,11 +1,8 @@
 """Tree-joining tests against the spec's §2.5/§2.6 walk-throughs."""
 
-import pytest
 
-from repro import CBTDomain, build_figure1, group_address
-from repro.core.constants import MessageType
+from repro import CBTDomain, group_address
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
-from tests.conftest import join_members
 
 
 class TestFigure1JoinWalkthrough:

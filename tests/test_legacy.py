@@ -8,7 +8,7 @@ from repro.core.legacy import (
     LegacyDRExtension,
     LegacyHostAgent,
 )
-from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
+from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
 
 
 @pytest.fixture

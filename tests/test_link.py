@@ -5,7 +5,7 @@ from ipaddress import IPv4Address
 import pytest
 
 from repro.netsim.engine import Scheduler
-from repro.netsim.link import PointToPointLink, Subnet
+from repro.netsim.link import Subnet
 from repro.netsim.node import Node
 from repro.netsim.packet import IPDatagram, PROTO_UDP
 from repro.netsim.trace import PacketTrace

@@ -4,7 +4,6 @@ import json
 
 from repro.core.mib import domain_mib, router_mib
 from repro.harness.scenarios import send_data
-from tests.conftest import join_members
 
 
 class TestRouterMIB:

@@ -6,7 +6,6 @@ treats it like a failed attempt and cycles cores, and intermediate
 routers propagate it downstream while clearing transient state.
 """
 
-import pytest
 
 from repro import CBTDomain, group_address
 from repro.core.tunnels import TunnelEntry, TunnelTable

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.netsim.engine import PeriodicTimer, Scheduler
-from repro.netsim.packet import IPDatagram, PROTO_UDP, make_udp
+from repro.netsim.packet import IPDatagram, PROTO_UDP
 from repro.topology.builder import Network
 
 from ipaddress import IPv4Address

@@ -1,11 +1,9 @@
 """Tests for the overhead metrics and the packet log renderer."""
 
-import pytest
 
 from repro.analysis import packet_log
 from repro.harness.scenarios import send_data
 from repro.metrics.overhead import (
-    OverheadReport,
     cbt_control_overhead,
     deliveries_per_packet,
     trace_overhead,

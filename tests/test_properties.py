@@ -9,7 +9,6 @@ and checks that the CBT invariants hold at quiescence:
 * no pending-join or quitting state survives quiescence.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.harness.scenarios import (

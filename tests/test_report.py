@@ -3,7 +3,6 @@
 import json
 import os
 
-import pytest
 
 from repro.harness.report import (
     build_report,
@@ -13,7 +12,6 @@ from repro.harness.report import (
     write_report,
 )
 from repro.harness.scenarios import send_data
-from tests.conftest import join_members
 
 
 class TestReportAssembly:

@@ -4,7 +4,7 @@ from ipaddress import IPv4Address
 
 import pytest
 
-from repro.netsim.packet import IPDatagram, PROTO_UDP, make_udp
+from repro.netsim.packet import make_udp
 from repro.topology.builder import Network
 
 

@@ -1,7 +1,5 @@
 """Tree teardown tests: quits and flushes (spec §2.7)."""
 
-from repro import CBTDomain, group_address
-from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
 from tests.conftest import join_members
 
 

@@ -16,7 +16,7 @@ from repro.core.constants import (
     JoinSubcode,
     MessageType,
 )
-from repro.core.timers import CBTTimers, DEFAULT_TIMERS
+from repro.core.timers import DEFAULT_TIMERS
 
 
 class TestSpecDefaults:

@@ -11,7 +11,6 @@ encapsulation.
                              ~~tunnel2~~
 """
 
-import pytest
 
 from repro import CBTDomain, group_address
 from repro.core.tunnels import TunnelEntry, TunnelTable

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CBTDomain, build_figure1, group_address
+from repro import CBTDomain, group_address
 from repro.core.constants import CBT_PORT
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, send_data
 from repro.netsim.packet import PROTO_UDP
