@@ -219,7 +219,7 @@ def bench_scale(quick: bool) -> Dict[str, Metric]:
     """E14 scale sweep: whole-scenario simulator throughput."""
     from benchmarks.bench_scale import scale_run
 
-    sizes = (25, 50, 100) if quick else (25, 50, 100, 200)
+    sizes = (25, 50, 100) if quick else (25, 50, 100, 200, 1000, 10000)
     metrics: Dict[str, Metric] = {}
     for size in sizes:
         t0 = time.perf_counter()
@@ -234,6 +234,27 @@ def bench_scale(quick: bool) -> Dict[str, Metric]:
             wall, "s", higher_is_better=False
         )
     return metrics
+
+
+def bench_scale_smoke(quick: bool) -> Dict[str, Metric]:
+    """n=1000 scale smoke: the bulk fast paths (flat int-ID plane,
+    timer wheel, on-demand reverse-SPF routing, sparse Waxman
+    generation) must keep a whole-scenario n=1000 run inside the gated
+    event budget.  Runs the single cell in quick mode too, so every CI
+    tier that benches also exercises the bulk path."""
+    from benchmarks.bench_scale import scale_run
+
+    t0 = time.perf_counter()
+    row = scale_run(1000)
+    wall = time.perf_counter() - t0
+    events, eps = row[5], row[6]
+    return {
+        "events_per_sec_n1000": _metric(eps, "events/s"),
+        "sim_events_n1000": _metric(
+            events, "events", higher_is_better=False, gated=True
+        ),
+        "wall_seconds_n1000": _metric(wall, "s", higher_is_better=False),
+    }
 
 
 def bench_chaos(quick: bool) -> Dict[str, Metric]:
@@ -423,6 +444,7 @@ BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "scheduler": bench_scheduler,
     "codec": bench_codec,
     "scale": bench_scale,
+    "scale_smoke": bench_scale_smoke,
     "chaos": bench_chaos,
     "explore": bench_explore,
     "telemetry": bench_telemetry,

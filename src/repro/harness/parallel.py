@@ -67,6 +67,7 @@ DEFAULT_TIMEOUTS: Dict[str, float] = {
     "lint": 600.0,
     "coverage": 2400.0,
     "selftest": 60.0,
+    "shard": 900.0,
 }
 
 #: Statuses that count as success for gating purposes.
@@ -145,6 +146,10 @@ class UnitResult:
     fingerprint: str = ""
     detail: List[str] = field(default_factory=list)
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Structured executor payload (e.g. shard boundary emissions);
+    #: passed back to in-process drivers, never serialised into the
+    #: ``repro-ci-report/1`` document.
+    extra: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -454,6 +459,12 @@ def _execute_selftest(params: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def _execute_shard(params: Dict[str, object]) -> Dict[str, object]:
+    from repro.harness.sharding import execute_shard
+
+    return execute_shard(params)
+
+
 EXECUTORS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
     "chaos": _execute_chaos,
     "explore": _execute_explore,
@@ -462,6 +473,7 @@ EXECUTORS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
     "lint": _execute_lint,
     "coverage": _execute_coverage,
     "selftest": _execute_selftest,
+    "shard": _execute_shard,
 }
 
 
@@ -684,6 +696,7 @@ def _payload_to_result(
         metrics={
             str(k): v for k, v in dict(payload.get("metrics", {})).items()
         },
+        extra=dict(payload.get("extra", {})),
     )
 
 

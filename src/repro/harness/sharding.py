@@ -1,0 +1,517 @@
+"""Shard-by-subnet parallel simulation (replica regions + boundary replay).
+
+The netsim engine is single-threaded by design: determinism comes from
+one global ``(time, seq)`` event order.  This module parallelises *one
+scenario* across worker processes anyway, by exploiting the topology's
+structure rather than breaking the engine's ordering:
+
+* **Partition by subnet.**  Routers are grouped into regions such that
+  only point-to-point links are ever cut — every multi-access subnet
+  (and therefore every host and its IGMP traffic) lives entirely inside
+  one region.  See :func:`partition_regions`.
+
+* **Full-replica regions.**  Each region's work unit builds the *whole*
+  network deterministically (identical addresses, links, and unicast
+  routing everywhere), but constructs protocol state (CBT + IGMP) only
+  for its local routers/hosts.  Remote nodes are inert sinks: any
+  datagram that crosses a boundary p2p link is captured as a
+  *boundary emission* ``(time, node, vif, datagram)`` instead of being
+  processed.
+
+* **Boundary replay to a fixed point.**  The driver routes each round's
+  emissions to the owning regions and re-runs every region from t=0
+  with those events injected at their recorded absolute times.  Since a
+  region's outcome is a pure function of its inbox, the per-region
+  inboxes converge to a fixed point (bounded causal depth within the
+  finite horizon); the round at which nothing changes is the final
+  answer.  Replay-from-zero trades wall-clock for simplicity: there is
+  no speculative state to roll back and no cross-process ordering to
+  coordinate, so results are byte-identical for ANY worker count —
+  workers only change how many region units run concurrently (via
+  :func:`repro.harness.parallel.run_units`).
+
+* **Deterministic merge.**  Per-region traces, telemetry snapshots and
+  boundary emissions fold into a merged trace (ordered by ``(time,
+  region, local index)``), a key-wise summed telemetry snapshot, and a
+  single merged fingerprint — all independent of worker count and
+  completion order.
+
+Datagrams cross process boundaries as pickles (base64 inside the unit
+params).  Every payload type in the simulator is a dataclass of ints,
+addresses, bytes and tuples — no hash-ordered containers — so pickled
+bytes are deterministic across processes.  Packet uids are namespaced
+per region (region k allocates from ``k * 10**7``) so locally
+allocated uids can never collide with injected ones.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.parallel import (
+    UnitResult,
+    WorkUnit,
+    merged_fingerprint,
+    run_units,
+    stable_digest,
+)
+
+#: Joins start after elections settle; one send exercises the tree.
+SETTLE_TIME = 3.0
+JOIN_SPACING = 0.05
+SEND_DELAY = 2.0
+TAIL_TIME = 2.0
+
+#: Per-region packet-uid namespace stride (see module docstring).
+UID_STRIDE = 10_000_000
+
+#: Replay-round ceiling; a scenario that has not reached its fixed
+#: point by then is reported as an error, not silently truncated.
+MAX_ROUNDS = 32
+
+
+def _topologies():
+    from repro.harness.campaign import TOPOLOGIES
+
+    return TOPOLOGIES
+
+
+# -- partitioning -----------------------------------------------------------
+
+
+def _router_components(network) -> List[List[str]]:
+    """Groups of routers that must share a region.
+
+    Routers attached to the same multi-access subnet are inseparable
+    (cutting a LAN would strand its hosts' IGMP traffic); only pure
+    point-to-point links — exactly two interfaces, both routers — may
+    be cut.  Returns components sorted by their lowest router name.
+    """
+    parent: Dict[str, str] = {name: name for name in network.routers}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Deterministic root: lowest name wins.
+            if rb < ra:
+                ra, rb = rb, ra
+            parent[rb] = ra
+
+    router_names = set(network.routers)
+    for link in network.links.values():
+        attached = [i.node.name for i in link.interfaces]
+        routers = [n for n in attached if n in router_names]
+        if len(routers) < 2:
+            continue
+        if len(attached) == 2 and len(routers) == 2:
+            continue  # pure p2p: cuttable
+        for other in routers[1:]:
+            union(routers[0], other)
+    groups: Dict[str, List[str]] = {}
+    for name in sorted(router_names):
+        groups.setdefault(find(name), []).append(name)
+    return [groups[root] for root in sorted(groups)]
+
+
+def partition_regions(network, parts: int) -> List[List[str]]:
+    """Deterministically partition routers into at most ``parts`` regions.
+
+    Components (see :func:`_router_components`) are laid out in a BFS
+    order over the component adjacency graph (p2p links only), then
+    sliced into consecutive runs of balanced router count — contiguous
+    regions keep boundary crossings (and therefore replay rounds) low.
+    The result is independent of dict/iteration order and identical on
+    every call for the same topology.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    components = _router_components(network)
+    comp_of: Dict[str, int] = {}
+    for index, comp in enumerate(components):
+        for name in comp:
+            comp_of[name] = index
+    # Component adjacency via cuttable p2p links.
+    router_names = set(network.routers)
+    neighbours: Dict[int, set] = {i: set() for i in range(len(components))}
+    for link in network.links.values():
+        attached = [i.node.name for i in link.interfaces]
+        if len(attached) != 2 or any(n not in router_names for n in attached):
+            continue
+        a, b = comp_of[attached[0]], comp_of[attached[1]]
+        if a != b:
+            neighbours[a].add(b)
+            neighbours[b].add(a)
+    # BFS layout; restart at the lowest unvisited component per island.
+    order: List[int] = []
+    visited: set = set()
+    for start in range(len(components)):
+        if start in visited:
+            continue
+        queue = [start]
+        visited.add(start)
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            for nxt in sorted(neighbours[current]):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    queue.append(nxt)
+    total = sum(len(components[i]) for i in order)
+    parts = min(parts, len(order))
+    regions: List[List[str]] = []
+    cursor = 0
+    remaining = total
+    for slot in range(parts):
+        slots_left = parts - slot
+        # Take components until the balanced target is met, always at
+        # least one, and always leaving one per remaining slot.
+        max_take = (len(order) - cursor) - (slots_left - 1)
+        want = remaining / slots_left
+        picked: List[str] = []
+        take = 0
+        while take < max_take:
+            comp = components[order[cursor + take]]
+            if take > 0 and len(picked) + len(comp) > want:
+                break
+            picked.extend(comp)
+            take += 1
+        cursor += take
+        remaining -= len(picked)
+        regions.append(sorted(picked))
+    return regions
+
+
+def owner_map(network, regions: Sequence[Sequence[str]]) -> Dict[str, int]:
+    """node name (router or host) -> owning region index."""
+    owners: Dict[str, int] = {}
+    for index, region in enumerate(regions):
+        for name in region:
+            owners[name] = index
+    router_names = set(network.routers)
+    for host_name in sorted(network.hosts):
+        host = network.hosts[host_name]
+        attached = sorted(
+            iface.node.name
+            for iface in host.interface.link.interfaces
+            if iface.node.name in router_names
+        )
+        if attached:
+            owners[host_name] = owners[attached[0]]
+    return owners
+
+
+# -- the region work unit ---------------------------------------------------
+
+
+def _encode_datagram(datagram) -> str:
+    return base64.b64encode(pickle.dumps(datagram, protocol=4)).decode("ascii")
+
+
+def _decode_datagram(encoded: str):
+    return pickle.loads(base64.b64decode(encoded.encode("ascii")))
+
+
+def _scenario_times(members: Sequence[str]) -> Tuple[List[float], float, float]:
+    """(per-member join times, send time, horizon) — absolute sim times,
+    identical in every region by construction."""
+    joins = [SETTLE_TIME + i * JOIN_SPACING for i in range(len(members))]
+    send_at = SETTLE_TIME + len(members) * JOIN_SPACING + SEND_DELAY
+    return joins, send_at, send_at + TAIL_TIME
+
+
+def execute_shard(params: Dict[str, object]) -> Dict[str, object]:
+    """Run one region replica; the ``shard`` unit executor body."""
+    import repro.netsim.packet as packet_mod
+    from repro.core.bootstrap import CBTDomain
+    from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS
+    from repro.netsim.packet import IPDatagram, PROTO_UDP, UDPDatagram
+
+    topology = str(params["topology"])
+    seed = int(params["seed"])
+    parts = int(params["parts"])
+    region_index = int(params["region"])
+    inbox = [tuple(entry) for entry in params.get("inbox", [])]
+
+    # Region-namespaced uid allocation (restored afterwards so inline
+    # execution cannot perturb the calling process).
+    saved_counter = packet_mod._packet_ids
+    packet_mod._packet_ids = itertools.count(1 + region_index * UID_STRIDE)
+    try:
+        network, members, cores = _topologies()[topology].build(seed)
+        network.trace.enabled = True
+        regions = partition_regions(network, parts)
+        owners = owner_map(network, regions)
+        local = {n for n, region in owners.items() if region == region_index}
+        local_routers = sorted(n for n in local if n in network.routers)
+        local_hosts = sorted(n for n in local if n in network.hosts)
+
+        # Sink every remote node: boundary arrivals are captured, never
+        # processed.  Only boundary p2p deliveries can reach a sink —
+        # every multi-access subnet is intra-region by construction.
+        emissions: List[Tuple[float, str, int, str]] = []
+        scheduler = network.scheduler
+
+        def make_sink(node):
+            def sink(interface, datagram) -> None:
+                emissions.append(
+                    (
+                        scheduler.now,
+                        node.name,
+                        interface.vif,
+                        _encode_datagram(datagram),
+                    )
+                )
+
+            return sink
+
+        for name, node in itertools.chain(
+            sorted(network.routers.items()), sorted(network.hosts.items())
+        ):
+            if name not in local:
+                node.receive = make_sink(node)  # type: ignore[method-assign]
+
+        # Inject this round's inbox at the recorded absolute times.
+        def make_injection(node, vif: int, encoded: str):
+            def inject() -> None:
+                node.receive(node.interfaces[vif], _decode_datagram(encoded))
+
+            return inject
+
+        for time_at, node_name, vif, encoded in inbox:
+            node = (
+                network.routers.get(str(node_name))
+                or network.hosts[str(node_name)]
+            )
+            scheduler.call_at(
+                float(time_at), make_injection(node, int(vif), str(encoded))
+            )
+
+        domain = CBTDomain(
+            network,
+            timers=FAST_TIMERS,
+            igmp_config=FAST_IGMP,
+            cbt_routers=local_routers,
+            hosts=local_hosts,
+        )
+        domain.start()
+        from repro.netsim.address import group_address
+
+        group = group_address(0)
+        domain.create_group(group, cores=list(cores))
+
+        join_times, send_at, horizon = _scenario_times(members)
+        for member, join_at in zip(members, join_times):
+            if member in local:
+                scheduler.call_at(
+                    join_at,
+                    lambda m=member: domain.join_host(m, group),
+                )
+        sender = members[0]
+        if sender in local:
+            host = network.host(sender)
+
+            def do_send() -> None:
+                host.originate(
+                    IPDatagram(
+                        src=host.interface.address,
+                        dst=group,
+                        proto=PROTO_UDP,
+                        payload=UDPDatagram(
+                            sport=40000, dport=5000, payload=b"x" * 64
+                        ),
+                    )
+                )
+
+            scheduler.call_at(send_at, do_send)
+        network.run(until=horizon)
+
+        trace = [
+            (
+                round(record.time, 9),
+                record.kind,
+                record.link_name,
+                record.node_name,
+                record.datagram.proto,
+                record.datagram.uid,
+            )
+            for record in network.trace.records
+        ]
+        delivered = {
+            member: len(network.host(member).delivered)
+            for member in members
+            if member in local
+        }
+        state = sum(
+            protocol.fib.total_state() for protocol in domain.protocols.values()
+        )
+        telemetry = dict(scheduler.telemetry.registry.snapshot())
+        emissions.sort()
+        return {
+            "status": "ok",
+            "fingerprint": stable_digest(
+                "shard",
+                topology,
+                seed,
+                parts,
+                region_index,
+                tuple(trace),
+                tuple(emissions),
+                tuple(sorted(telemetry.items())),
+                tuple(sorted(delivered.items())),
+                state,
+            ),
+            "detail": [],
+            "metrics": {
+                "ci.shard.regions": 1,
+                "ci.shard.emissions": len(emissions),
+                "ci.shard.trace_records": len(trace),
+                "ci.shard.fib_state": state,
+            },
+            "extra": {
+                "emissions": emissions,
+                "trace": trace,
+                "telemetry": telemetry,
+                "delivered": delivered,
+                "state": state,
+                "local_routers": local_routers,
+            },
+        }
+    finally:
+        packet_mod._packet_ids = saved_counter
+
+
+# -- the round driver -------------------------------------------------------
+
+
+@dataclass
+class ShardedRun:
+    """Converged result of a sharded scenario run."""
+
+    topology: str
+    seed: int
+    parts: int
+    workers: int
+    rounds: int
+    results: List[UnitResult] = field(default_factory=list)
+    regions: List[List[str]] = field(default_factory=list)
+    members: List[str] = field(default_factory=list)
+
+    @property
+    def merged_fingerprint(self) -> str:
+        return merged_fingerprint(self.results)
+
+    def merged_trace(self) -> List[Tuple]:
+        """All regions' trace records, ordered by (time, region, index).
+
+        Boundary transmissions appear in the *emitting* region's view
+        (tx plus the sink-side rx); the receiving region sees the
+        injected consequences.  The merge is a deterministic function
+        of the converged per-region runs — identical for any worker
+        count.
+        """
+        merged: List[Tuple] = []
+        for region_index, result in enumerate(self.results):
+            for position, line in enumerate(result.extra.get("trace", [])):
+                merged.append((line[0], region_index, position) + tuple(line))
+        merged.sort(key=lambda item: (item[0], item[1], item[2]))
+        return merged
+
+    def merged_telemetry(self) -> Dict[str, float]:
+        from repro.telemetry.registry import MetricsRegistry
+
+        return MetricsRegistry.merge(
+            *(r.extra.get("telemetry", {}) for r in self.results)
+        )
+
+    def delivered(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for result in self.results:
+            out.update(result.extra.get("delivered", {}))
+        return out
+
+
+def run_sharded(
+    topology: str,
+    seed: int = 0,
+    parts: int = 2,
+    workers: int = 0,
+    max_rounds: int = MAX_ROUNDS,
+    progress=None,
+) -> ShardedRun:
+    """Run ``topology`` sharded into ``parts`` regions to a fixed point.
+
+    ``workers`` is passed straight to :func:`run_units` (0 = inline).
+    Raises ``RuntimeError`` if the boundary-replay fixed point is not
+    reached within ``max_rounds`` or any region unit fails.
+    """
+    network, members, _cores = _topologies()[topology].build(seed)
+    regions = partition_regions(network, parts)
+    owners = owner_map(network, regions)
+    parts = len(regions)  # may be clamped by the component structure
+
+    inboxes: List[List[Tuple[float, str, int, str]]] = [[] for _ in regions]
+    results: List[UnitResult] = []
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        units = [
+            WorkUnit.make(
+                "shard",
+                f"shard:{topology}:s{seed}:p{parts}:r{index}",
+                params={
+                    "topology": topology,
+                    "seed": seed,
+                    "parts": parts,
+                    "region": index,
+                    "inbox": [list(entry) for entry in inboxes[index]],
+                },
+            )
+            for index in range(parts)
+        ]
+        results = run_units(units, workers=workers, progress=progress)
+        bad = [r for r in results if not r.ok]
+        if bad:
+            raise RuntimeError(
+                "shard units failed: "
+                + "; ".join(f"{r.unit_id}: {r.status}" for r in bad)
+            )
+        next_inboxes: List[List[Tuple[float, str, int, str]]] = [
+            [] for _ in regions
+        ]
+        for result in results:
+            for entry in result.extra.get("emissions", []):
+                time_at, node_name, vif, encoded = entry
+                owner = owners[str(node_name)]
+                next_inboxes[owner].append(
+                    (float(time_at), str(node_name), int(vif), str(encoded))
+                )
+        for inbox in next_inboxes:
+            inbox.sort()
+        if next_inboxes == inboxes:
+            return ShardedRun(
+                topology=topology,
+                seed=seed,
+                parts=parts,
+                workers=workers,
+                rounds=rounds,
+                results=results,
+                regions=regions,
+                members=list(members),
+            )
+        inboxes = next_inboxes
+    raise RuntimeError(
+        f"sharded {topology} did not reach a boundary fixed point "
+        f"within {max_rounds} rounds"
+    )

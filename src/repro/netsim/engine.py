@@ -7,17 +7,28 @@ must be byte-for-byte reproducible across runs.
 
 Performance notes (see docs/PERFORMANCE.md):
 
-* ``_Event`` uses ``__slots__`` — churn benchmarks allocate millions —
-  and the heap holds ``(time, seq, event)`` tuples so ordering is
-  resolved by C-level tuple comparison (``seq`` is unique, so the
-  comparison never reaches the event object).
-* Cancelled events are compacted out of the heap once they exceed both
-  ``_COMPACT_MIN`` and half the queue, so long-lived simulations that
-  constantly re-arm keepalive timers don't drag a tail of dead entries
-  through every ``heappush``.  Compaction cannot change firing order:
-  entries are totally ordered by the unique ``(time, seq)`` key, so a
-  re-heapified queue pops in exactly the same sequence.
-* ``pending_events`` is a live counter, not an O(n) scan.
+* ``_Event`` uses ``__slots__`` and records are slab-allocated: fired
+  and dropped events return to a free list and are reused, so steady
+  state allocates no event objects at all.  A per-event ``gen``
+  (generation) counter keeps outstanding :class:`Timer` handles safe —
+  a handle whose generation no longer matches its event is simply
+  spent.
+* Far-future events (keepalive, retry, and hello timers — the bulk of
+  the pending population at scale) park in a coarse timer wheel
+  instead of the heap.  Wheel entries keep their original
+  ``(time, seq)`` keys and every bucket is flushed into the heap
+  strictly before it can contain the head event, so pop order is
+  *identical* to the pure-heap engine — the wheel is invisible to
+  traces.  Cancelling a parked timer is an O(1) flag; the event never
+  touches the heap, which is the win for churny keepalives that re-arm
+  and cancel far more often than they fire.
+* Cancelled events that did reach the heap are compacted out once they
+  exceed both ``_COMPACT_MIN`` and half the queue.  Compaction cannot
+  change firing order: entries are totally ordered by the unique
+  ``(time, seq)`` key, so a re-heapified queue pops in exactly the
+  same sequence.
+* ``pending_events`` is a live counter and ``pending_tags()`` reads a
+  live tag index — neither scans the heap.
 
 Choice-point hook layer (systematic exploration):
 
@@ -37,13 +48,24 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.netsim.ids import AddressInterner
 from repro.telemetry import Telemetry
 
 #: Compact the heap only once at least this many cancelled events have
 #: accumulated (and they make up more than half the queue).
 _COMPACT_MIN = 64
+
+#: Timer-wheel bucket width in simulation seconds.  Events at least two
+#: buckets in the future park in the wheel; nearer events (packet
+#: deliveries are milliseconds) go straight to the heap.
+_WHEEL_GRANULARITY = 0.25
+_INV_GRANULARITY = 1.0 / _WHEEL_GRANULARITY
+
+#: Cap on the event free list; beyond this, spent events are left to
+#: the garbage collector (bounds memory after a burst).
+_SLAB_MAX = 8192
 
 
 class SchedulerError(Exception):
@@ -51,7 +73,7 @@ class SchedulerError(Exception):
 
 
 class _Event:
-    __slots__ = ("time", "callback", "cancelled", "fired", "tag")
+    __slots__ = ("time", "callback", "cancelled", "fired", "tag", "gen", "parked")
 
     def __init__(
         self, time: float, callback: Callable[[], None], tag: Optional[Tuple] = None
@@ -61,6 +83,8 @@ class _Event:
         self.cancelled = False
         self.fired = False
         self.tag = tag
+        self.gen = 0
+        self.parked = False
 
 
 class Timer:
@@ -69,32 +93,44 @@ class Timer:
     A ``Timer`` is returned by :meth:`Scheduler.call_later`.  Cancelling
     an already-fired or already-cancelled timer is a no-op, which keeps
     protocol code free of "is it still pending?" bookkeeping.
+
+    The handle snapshots the callback and firing time at creation:
+    event records are slab-recycled after they fire, so the handle must
+    not read them back from a possibly-reused record.
     """
 
-    __slots__ = ("_scheduler", "_event")
+    __slots__ = ("_scheduler", "_event", "_gen", "_callback", "_fires_at")
 
     def __init__(self, scheduler: "Scheduler", event: _Event) -> None:
         self._scheduler = scheduler
         self._event = event
+        self._gen = event.gen
+        self._callback = event.callback
+        self._fires_at = event.time
 
     @property
     def fires_at(self) -> float:
         """Absolute simulation time at which the timer fires."""
-        return self._event.time
+        return self._fires_at
 
     @property
     def pending(self) -> bool:
         """True while the timer has neither fired nor been cancelled."""
-        return not self._event.cancelled and not self._event.fired
+        event = self._event
+        return (
+            event.gen == self._gen and not event.cancelled and not event.fired
+        )
 
     def cancel(self) -> None:
         """Cancel the timer; safe to call at any time."""
-        self._scheduler._cancel(self._event)
+        event = self._event
+        if event.gen == self._gen:
+            self._scheduler._cancel(event)
 
     def restart(self, delay: float) -> "Timer":
         """Cancel this timer and schedule its callback again after ``delay``."""
         self.cancel()
-        return self._scheduler.call_later(delay, self._event.callback)
+        return self._scheduler.call_later(delay, self._callback)
 
 
 class Scheduler:
@@ -114,11 +150,30 @@ class Scheduler:
         self._events_processed = 0
         self._pending = 0
         self._cancelled_in_heap = 0
+        # Timer wheel: bucket index -> unsorted entry list, plus a
+        # bucket-index heap for "earliest bucket" and a cached start
+        # time of that bucket (inf when the wheel is empty) so the run
+        # loop pays one float compare per event in the common case.
+        self._wheel: Dict[int, List[Tuple[float, int, _Event]]] = {}
+        self._wheel_buckets: List[int] = []
+        self._wheel_next_start = float("inf")
+        # Event slab (free list) for reuse.
+        self._slab: List[_Event] = []
+        # Live index of pending tagged events (tag lookups must not
+        # scan the heap): event -> tag.
+        self._tagged: Dict[_Event, Tuple] = {}
         #: Engine accounting (always on — plain integer bumps): these
         #: obey scheduled == processed + cancelled + pending, checked
         #: by :mod:`repro.telemetry.conservation`.
         self.events_scheduled = 0
         self.events_cancelled = 0
+        #: Shared dense-ID spaces for the flat int-ID data plane: every
+        #: component of one simulated network holds this scheduler, so
+        #: these interners give network-wide consistent IDs.  Unicast
+        #: addresses and multicast groups intern separately — group ID
+        #: space stays tiny, so per-router FIB rows stay tiny.
+        self.ids = AddressInterner()
+        self.group_ids = AddressInterner()
         #: Observability bundle shared by everything holding this
         #: scheduler (links, routers, protocols, IGMP agents).
         self.telemetry = Telemetry(enabled=telemetry_enabled)
@@ -163,6 +218,30 @@ class Scheduler:
             raise SchedulerError(f"cannot schedule {delay}s in the past")
         return self.call_at(self._now + delay, callback, tag=tag)
 
+    def _alloc_event(
+        self, time: float, callback: Callable[[], None], tag: Optional[Tuple]
+    ) -> _Event:
+        slab = self._slab
+        if slab:
+            event = slab.pop()
+            event.time = time
+            event.callback = callback
+            event.cancelled = False
+            event.fired = False
+            event.tag = tag
+            event.parked = False
+            return event
+        return _Event(time, callback, tag)
+
+    def _free_event(self, event: _Event) -> None:
+        # Bump the generation so outstanding Timer handles see the
+        # record as spent, then drop references for the GC.
+        event.gen += 1
+        event.callback = None  # type: ignore[assignment]
+        event.tag = None
+        if len(self._slab) < _SLAB_MAX:
+            self._slab.append(event)
+
     def call_at(
         self,
         time: float,
@@ -174,19 +253,56 @@ class Scheduler:
             raise SchedulerError(
                 f"cannot schedule at t={time}; current time is t={self._now}"
             )
-        event = _Event(time, callback, tag)
-        heapq.heappush(self._queue, (time, next(self._seq), event))
+        event = self._alloc_event(time, callback, tag)
+        bucket = int(time * _INV_GRANULARITY)
+        if bucket > int(self._now * _INV_GRANULARITY) + 1:
+            # Far enough out to park in the wheel: the bucket's start
+            # lies strictly in the future, so it will be flushed into
+            # the heap before simulation time can reach any of its
+            # events.
+            event.parked = True
+            entries = self._wheel.get(bucket)
+            if entries is None:
+                entries = self._wheel[bucket] = []
+                heapq.heappush(self._wheel_buckets, bucket)
+                start = bucket * _WHEEL_GRANULARITY
+                if start < self._wheel_next_start:
+                    self._wheel_next_start = start
+            entries.append((time, next(self._seq), event))
+        else:
+            heapq.heappush(self._queue, (time, next(self._seq), event))
         self._pending += 1
         self.events_scheduled += 1
+        if tag is not None:
+            self._tagged[event] = tag
         return Timer(self, event)
+
+    def _flush_wheel(self, head_time: float) -> None:
+        """Move wheel buckets whose span could precede ``head_time``
+        into the heap.  Entries keep their original ``(time, seq)``
+        keys, so heap ordering is exactly what a heap-only engine
+        would have produced; cancelled entries are dropped here and
+        never touch the heap."""
+        wheel = self._wheel
+        buckets = self._wheel_buckets
+        heappush = heapq.heappush
+        queue = self._queue
+        while buckets and buckets[0] * _WHEEL_GRANULARITY <= head_time:
+            bucket = heapq.heappop(buckets)
+            for entry in wheel.pop(bucket):
+                event = entry[2]
+                if event.cancelled:
+                    self._free_event(event)
+                else:
+                    event.parked = False
+                    heappush(queue, entry)
+        self._wheel_next_start = (
+            buckets[0] * _WHEEL_GRANULARITY if buckets else float("inf")
+        )
 
     def pending_tags(self) -> List[Tuple]:
         """Sorted tags of pending tagged events (exploration fingerprints)."""
-        return sorted(
-            entry[2].tag
-            for entry in self._queue
-            if entry[2].tag is not None and not entry[2].cancelled
-        )
+        return sorted(self._tagged.values())
 
     def _cancel(self, event: _Event) -> None:
         """Mark an event cancelled and compact the heap when it's mostly dead."""
@@ -195,12 +311,24 @@ class Scheduler:
         event.cancelled = True
         self._pending -= 1
         self.events_cancelled += 1
+        if event.tag is not None:
+            self._tagged.pop(event, None)
+        if event.parked:
+            # Wheel residents never reach the heap: the flush drops
+            # them, so heap compaction accounting must not see them.
+            return
         self._cancelled_in_heap += 1
         if (
             self._cancelled_in_heap >= _COMPACT_MIN
             and self._cancelled_in_heap * 2 > len(self._queue)
         ):
-            self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+            live = []
+            for entry in self._queue:
+                if entry[2].cancelled:
+                    self._free_event(entry[2])
+                else:
+                    live.append(entry)
+            self._queue = live
             heapq.heapify(self._queue)
             self._cancelled_in_heap = 0
 
@@ -215,11 +343,21 @@ class Scheduler:
         processed = 0
         heappop = heapq.heappop
         queue = self._queue
-        while queue:
+        while True:
+            if not queue:
+                if self._wheel_next_start == float("inf"):
+                    break
+                self._flush_wheel(self._wheel_next_start)
+                queue = self._queue
+                continue
             time, _seq, event = queue[0]
+            if time >= self._wheel_next_start:
+                self._flush_wheel(time)
+                continue
             if event.cancelled:
                 heappop(queue)
                 self._cancelled_in_heap -= 1
+                self._free_event(event)
                 continue
             if until is not None and time > until:
                 break
@@ -230,7 +368,10 @@ class Scheduler:
             event.fired = True
             self._pending -= 1
             self._now = time
+            if event.tag is not None:
+                self._tagged.pop(event, None)
             event.callback()
+            self._free_event(event)
             self._events_processed += 1
             processed += 1
             if processed >= max_events:
@@ -255,6 +396,7 @@ class Scheduler:
             entry = heapq.heappop(queue)
             if entry[2].cancelled:
                 self._cancelled_in_heap -= 1
+                self._free_event(entry[2])
                 continue
             tied.append(entry)
         if len(tied) == 1:
@@ -275,12 +417,23 @@ class Scheduler:
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-            self._cancelled_in_heap -= 1
-        if not self._queue:
-            return None
-        return self._queue[0][0]
+        while True:
+            queue = self._queue
+            if not queue:
+                if self._wheel_next_start == float("inf"):
+                    return None
+                self._flush_wheel(self._wheel_next_start)
+                continue
+            head_time = queue[0][0]
+            if head_time >= self._wheel_next_start:
+                self._flush_wheel(head_time)
+                continue
+            if queue[0][2].cancelled:
+                event = heapq.heappop(queue)[2]
+                self._cancelled_in_heap -= 1
+                self._free_event(event)
+                continue
+            return head_time
 
 
 class PeriodicTimer:

@@ -1,0 +1,102 @@
+"""Dense integer interning — the flat int-ID data plane's foundation.
+
+At bulk scale, per-packet dict probes keyed by rich objects
+(:class:`~ipaddress.IPv4Address`, ``IPv4Network``) dominate the data
+plane: every probe pays the object's ``__hash__``/``__eq__``.  The flat
+fast path interns each distinct address into a *dense* integer ID once,
+then serves the hot lookups from flat arrays indexed by that ID — an
+index operation with no hashing at all.
+
+Two pieces live here:
+
+* :class:`AddressInterner` — assigns dense IDs in first-seen order.
+  IDs are an implementation detail (never traced, never compared
+  across runs), so assignment order cannot affect simulation results.
+* :class:`IntSlotMap` — a growable ``id -> slot`` array with ``-1`` as
+  the empty sentinel, numpy-backed when numpy is importable and a pure
+  python ``array('i')`` otherwise.  Consumers store their actual
+  payload objects in a parallel slot list.
+
+The whole fast path can be disabled with ``REPRO_FLAT=0`` (the
+equivalence shim): binding becomes a no-op and every consumer falls
+back to its legacy dict path.  Property tests drive both paths and
+assert identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict
+
+try:  # pragma: no cover - exercised implicitly by either branch
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Equivalence shim: ``REPRO_FLAT=0`` disables the flat int-ID fast
+#: paths everywhere (routing table, FIB) in favour of the legacy dict
+#: paths.  Results must be identical either way.
+FLAT_ENABLED = os.environ.get("REPRO_FLAT", "1") != "0"
+
+_GROW_MIN = 64
+
+
+class AddressInterner:
+    """Dense IDs for addresses (or any int()-able key), first-seen order."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self) -> None:
+        self._ids: Dict[int, int] = {}
+
+    def intern(self, address) -> int:
+        """The dense ID for ``address``, assigning the next one if new."""
+        key = int(address)
+        ids = self._ids
+        out = ids.get(key)
+        if out is None:
+            out = ids[key] = len(ids)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class IntSlotMap:
+    """Growable ``dense id -> slot index`` array; -1 means unset.
+
+    numpy ``int32`` storage when available (vectorised fill on growth),
+    ``array('i')`` otherwise — behaviour is identical.
+    """
+
+    __slots__ = ("_arr", "_cap")
+
+    def __init__(self) -> None:
+        self._cap = 0
+        self._arr = None
+
+    def get(self, index: int) -> int:
+        if index >= self._cap:
+            return -1
+        return self._arr[index]
+
+    def put(self, index: int, slot: int) -> None:
+        cap = self._cap
+        if index >= cap:
+            new_cap = max(_GROW_MIN, cap * 2, index + 1)
+            if _np is not None:
+                grown = _np.full(new_cap, -1, dtype=_np.int32)
+                if cap:
+                    grown[:cap] = self._arr
+                self._arr = grown
+            else:
+                if self._arr is None:
+                    self._arr = array("i")
+                self._arr.extend([-1] * (new_cap - cap))
+            self._cap = new_cap
+        self._arr[index] = slot
+
+    def clear(self) -> None:
+        self._cap = 0
+        self._arr = None

@@ -230,12 +230,30 @@ class Link:
             extra_delay = (start - now) + serialisation
         if self.jitter is not None:
             extra_delay += self.jitter(datagram)
-        tagging = self.scheduler.choice_hook is not None
-        for receiver in receivers:
+        if self.scheduler.choice_hook is not None:
+            # Exploration mode: every delivery is its own tagged choice
+            # point, so the resolver can interleave them.
+            for receiver in receivers:
+                self.scheduler.call_later(
+                    self.delay + extra_delay,
+                    _make_delivery(self, receiver, datagram, msg),
+                    tag=delivery_tag(self, receiver, datagram),
+                )
+        elif len(receivers) == 1:
             self.scheduler.call_later(
                 self.delay + extra_delay,
-                _make_delivery(self, receiver, datagram, msg),
-                tag=delivery_tag(self, receiver, datagram) if tagging else None,
+                _make_delivery(self, receivers[0], datagram, msg),
+            )
+        elif receivers:
+            # Batched fan-out: one scheduled event delivers to every
+            # receiver, in attach order.  Order is indistinguishable
+            # from per-receiver events — those would occupy consecutive
+            # (time, seq) slots with nothing able to fire between them,
+            # exactly like one loop body — but the scheduler handles a
+            # LAN-wide broadcast as a single event instead of N.
+            self.scheduler.call_later(
+                self.delay + extra_delay,
+                _make_batch_delivery(self, receivers, datagram, msg),
             )
 
     def deliver(
@@ -260,16 +278,27 @@ class Link:
             # registry was disabled in between (matching the registry's
             # "existing instruments keep counting" contract).
             msg.rx.value += 1
-        self.trace.record(
-            TraceRecord(
-                time=self.scheduler.now,
-                kind="rx",
-                link_name=self.name,
-                node_name=receiver.node.name,
-                datagram=datagram,
+        if self.trace.enabled:
+            self.trace.record(
+                TraceRecord(
+                    time=self.scheduler.now,
+                    kind="rx",
+                    link_name=self.name,
+                    node_name=receiver.node.name,
+                    datagram=datagram,
+                )
             )
-        )
         receiver.node.receive(receiver, datagram)
+
+    def deliver_batch(
+        self,
+        receivers: List[Interface],
+        datagram: IPDatagram,
+        msg: Optional[MsgCounters] = None,
+    ) -> None:
+        """Deliver one transmission's same-tick fan-out in attach order."""
+        for receiver in receivers:
+            self.deliver(receiver, datagram, msg)
 
     def _count_drop(self, datagram: IPDatagram, reason: str) -> None:
         """Count a pre-wire drop against the link and the payload label
@@ -288,6 +317,8 @@ class Link:
     def _record(
         self, kind: str, interface: Interface, datagram: IPDatagram, note: str = ""
     ) -> None:
+        if not self.trace.enabled:
+            return
         self.trace.record(
             TraceRecord(
                 time=self.scheduler.now,
@@ -310,6 +341,16 @@ def _make_delivery(
     counter bundle resolved at transmit time rides along so delivery
     accounting is a single attribute add."""
     return lambda: link.deliver(receiver, datagram, msg)
+
+
+def _make_batch_delivery(
+    link: Link,
+    receivers: List[Interface],
+    datagram: IPDatagram,
+    msg: Optional[MsgCounters] = None,
+) -> Callable[[], None]:
+    """One event for a whole broadcast fan-out (see Link.transmit)."""
+    return lambda: link.deliver_batch(receivers, datagram, msg)
 
 
 #: Short protocol-aware label for a datagram (duck-typed so netsim

@@ -45,6 +45,11 @@ class Node:
         self._handlers: Dict[int, ProtocolHandler] = {}
         self._default_handler: Optional[ProtocolHandler] = None
         self.rx_count = 0
+        # Memo caches over the interface list (hot on every unicast
+        # transmit/receive); interface addresses and networks are fixed
+        # at creation, so adding an interface is the only invalidation.
+        self._toward_cache: Dict[int, Optional[Interface]] = {}
+        self._own_addresses: Optional[frozenset] = None
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"
@@ -63,6 +68,8 @@ class Node:
             mode=mode,
         )
         self.interfaces.append(interface)
+        self._toward_cache = {}
+        self._own_addresses = None
         link.attach(interface)
         return interface
 
@@ -78,13 +85,25 @@ class Node:
 
     def interface_toward(self, address: IPv4Address) -> Optional[Interface]:
         """The directly connected interface whose subnet contains ``address``."""
+        key = int(address)
+        cached = self._toward_cache.get(key, False)
+        if cached is not False:
+            return cached  # type: ignore[return-value]
+        found: Optional[Interface] = None
         for interface in self.interfaces:
             if interface.on_same_network(address):
-                return interface
-        return None
+                found = interface
+                break
+        self._toward_cache[key] = found
+        return found
 
     def owns_address(self, address: IPv4Address) -> bool:
-        return any(i.address == address for i in self.interfaces)
+        owned = self._own_addresses
+        if owned is None:
+            owned = self._own_addresses = frozenset(
+                int(i.address) for i in self.interfaces
+            )
+        return int(address) in owned
 
     @property
     def primary_address(self) -> IPv4Address:

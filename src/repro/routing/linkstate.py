@@ -28,7 +28,125 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.netsim.link import Link
 from repro.netsim.nic import Interface
-from repro.routing.table import Route, Router
+from repro.routing.table import _MASKS, Route, Router
+
+
+class _OndemandPlan:
+    """Shared per-destination route resolution for bulk topologies.
+
+    The eager/provider modes run one full Dijkstra *plus a full table
+    install* per router — O(routers × links) work even when each router
+    only ever forwards toward one or two destinations (the core).  This
+    plan inverts the computation: one *multi-source reverse* Dijkstra
+    per destination prefix, seeded at the prefix's attached routers, is
+    shared by every router.  For each router R it yields both the
+    metric ``min over attached A of dist(R, A)`` and R's predecessor —
+    the neighbour R forwards to.  Since edge costs are strictly
+    positive, hop-by-hop forwarding along predecessors strictly
+    decreases the metric, so paths are loop-free even though routers
+    share one tree.
+
+    Edge costs are taken as seen by the *forwarding* router (the node
+    being relaxed into), so per-(router, link) overrides keep their
+    forward semantics.  Under cost ties the selected next hop may
+    differ from the eager mode's choice (both are shortest); this mode
+    is therefore reserved for bulk topologies with their own baselines,
+    never the pinned small scenarios.
+
+    Trees are computed lazily per prefix and cached for the plan's
+    lifetime; like table providers, the plan snapshots topology state
+    at recompute time.
+    """
+
+    __slots__ = ("_radj", "_iface_by_link", "_prefix_map", "_plens", "_trees")
+
+    def __init__(
+        self,
+        reverse_adjacency: Dict[str, List[Tuple[str, float, Link]]],
+        iface_by_link: Dict[str, Dict[int, Interface]],
+        link_seq: List[Tuple[int, Link, Tuple[int, int], List[Tuple[str, Interface]]]],
+    ) -> None:
+        self._radj = reverse_adjacency
+        self._iface_by_link = iface_by_link
+        prefix_map: Dict[
+            Tuple[int, int], Tuple[Link, List[Tuple[str, Interface]]]
+        ] = {}
+        plens: set = set()
+        for _link_id, link, (net_int, plen), attached in link_seq:
+            prefix_map[(net_int, plen)] = (link, attached)
+            plens.add(plen)
+        self._prefix_map = prefix_map
+        self._plens = sorted(plens, reverse=True)
+        # (net int, plen) -> (dist by router name, pred by router name)
+        self._trees: Dict[
+            Tuple[int, int],
+            Tuple[Dict[str, float], Dict[str, Tuple[str, Link]]],
+        ] = {}
+
+    def route_for(self, router_name: str, dest_int: int) -> Optional[Route]:
+        prefix_key = None
+        hit = None
+        for plen in self._plens:
+            key = (dest_int & _MASKS[plen], plen)
+            hit = self._prefix_map.get(key)
+            if hit is not None:
+                prefix_key = key
+                break
+        if hit is None:
+            return None
+        link, _attached = hit
+        own = self._iface_by_link.get(router_name)
+        if own is None or id(link) in own:
+            return None  # directly connected; handled by interface_toward()
+        tree = self._trees.get(prefix_key)
+        if tree is None:
+            tree = self._trees[prefix_key] = self._reverse_tree(hit[1])
+        dist, pred = tree
+        hop = pred.get(router_name)
+        if hop is None:
+            return None  # unreachable (or an attached seed, handled above)
+        nbr_name, hop_link = hop
+        hop_link_id = id(hop_link)
+        egress = own.get(hop_link_id)
+        if egress is None:
+            return None
+        return Route(
+            prefix=link.network,
+            interface=egress,
+            next_hop=self._iface_by_link[nbr_name][hop_link_id].address,
+            metric=dist[router_name],
+        )
+
+    def _reverse_tree(
+        self, attached: List[Tuple[str, Interface]]
+    ) -> Tuple[Dict[str, float], Dict[str, Tuple[str, Link]]]:
+        """Multi-source Dijkstra outward from a prefix's attached routers."""
+        dist: Dict[str, float] = {}
+        pred: Dict[str, Tuple[str, Link]] = {}
+        visited: set = set()
+        heap: List[Tuple[float, str]] = []
+        for name, _iface in attached:
+            if name not in dist:
+                dist[name] = 0.0
+                heap.append((0.0, name))
+        heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        dist_get = dist.get
+        radj_get = self._radj.get
+        inf = float("inf")
+        while heap:
+            d, u = heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            for v, cost, link in radj_get(u, ()):
+                nd = d + cost
+                if nd < dist_get(v, inf):
+                    dist[v] = nd
+                    pred[v] = (u, link)
+                    heappush(heap, (nd, v))
+        return dist, pred
 
 
 class LinkStateRouting:
@@ -40,6 +158,10 @@ class LinkStateRouting:
         # (router name, link name) -> cost override
         self._cost_overrides: Dict[Tuple[str, str], float] = {}
         self.recompute_count = 0
+        #: When set (bulk topologies; see realise()), recompute installs
+        #: per-destination resolvers over a shared reverse-SPF plan
+        #: instead of a full per-router Dijkstra + table install.
+        self.ondemand = False
         # -- caches (None/empty = needs rebuild) --------------------------
         self._adjacency: Optional[Dict[str, List[Tuple[str, Link]]]] = None
         # adjacency with per-edge costs (overrides applied) baked in:
@@ -200,6 +322,9 @@ class LinkStateRouting:
         until ``recompute`` runs again.
         """
         self.recompute_count += 1
+        if self.ondemand:
+            self._recompute_ondemand()
+            return
         adjacency = self._costed_adjacency()
         iface_by_link, link_seq = self._iface_maps()
         compute = self._compute_for
@@ -208,6 +333,33 @@ class LinkStateRouting:
                 lambda r=router, a=adjacency, ibl=iface_by_link, ls=link_seq: compute(
                     r, a, ibl, ls
                 )
+            )
+
+    def _recompute_ondemand(self) -> None:
+        """Install per-destination resolvers over a shared reverse plan."""
+        iface_by_link, link_seq = self._iface_maps()
+        overrides = self._cost_overrides
+        # Reverse-costed adjacency: edge u -> v carries the cost *v*
+        # (the forwarding router, one hop farther from the destination)
+        # pays to cross the link, so overrides keep forward semantics.
+        radj: Dict[str, List[Tuple[str, float, Link]]] = {
+            name: [
+                (
+                    neighbour,
+                    overrides.get((neighbour, link.name), link.cost)
+                    if overrides
+                    else link.cost,
+                    link,
+                )
+                for neighbour, link in edges
+            ]
+            for name, edges in self.adjacency().items()
+        }
+        plan = _OndemandPlan(radj, iface_by_link, link_seq)
+        route_for = plan.route_for
+        for router in self.routers:
+            router.table.set_resolver(
+                lambda dest_int, name=router.name: route_for(name, dest_int)
             )
 
     def _build_adjacency(self) -> Dict[str, List[Tuple[str, Link]]]:

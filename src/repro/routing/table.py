@@ -25,6 +25,7 @@ from typing import (
 
 from repro.netsim.address import is_link_local_multicast
 from repro.netsim.engine import Scheduler
+from repro.netsim.ids import FLAT_ENABLED, AddressInterner, IntSlotMap
 from repro.netsim.nic import Interface
 from repro.netsim.node import Node
 from repro.netsim.packet import IPDatagram, PROTO_CBT, PROTO_IGMP
@@ -94,9 +95,27 @@ class RoutingTable:
     of a scan over every route — fronted by a per-destination memo
     cache.  Both structures are maintained by ``install``/``remove``/
     ``clear``; any mutation invalidates the memo cache.
+
+    Flat fast path: when the owning node binds the network-wide
+    :class:`AddressInterner` (see :meth:`bind_ids`), memoised results
+    are served from a dense-ID slot array instead of the dict cache —
+    an array index per lookup, no hashing.  ``REPRO_FLAT=0`` disables
+    binding, restoring the legacy dict path; results are identical
+    (property-tested), since both are pure memo layers over the same
+    prefix index.
     """
 
-    __slots__ = ("_routes", "_by_prefixlen", "_prefixlens", "_lookup_cache", "_provider")
+    __slots__ = (
+        "_routes",
+        "_by_prefixlen",
+        "_prefixlens",
+        "_lookup_cache",
+        "_provider",
+        "_resolver",
+        "_ids",
+        "_flat_map",
+        "_flat_slots",
+    )
 
     def __init__(self) -> None:
         # (int(network address), prefixlen) -> Route; int keys hash far
@@ -108,6 +127,20 @@ class RoutingTable:
         self._lookup_cache: Dict[int, Optional[Route]] = {}
         # Deferred (re)population hook; see set_provider().
         self._provider: Optional[Callable[[], None]] = None
+        # Per-destination resolution hook; see set_resolver().
+        self._resolver: Optional[Callable[[int], Optional[Route]]] = None
+        # Flat int-ID memo layer (active once bind_ids() is called).
+        self._ids: Optional[AddressInterner] = None
+        self._flat_map = IntSlotMap()
+        self._flat_slots: List[Optional[Route]] = []
+
+    def bind_ids(self, interner: AddressInterner) -> None:
+        """Activate the flat fast path using network-wide dense IDs.
+
+        No-op when the ``REPRO_FLAT=0`` equivalence shim is set.
+        """
+        if FLAT_ENABLED:
+            self._ids = interner
 
     def set_provider(self, provider: Callable[[], None]) -> None:
         """Defer population: drop current contents and run ``provider``
@@ -119,10 +152,39 @@ class RoutingTable:
         first access, which may be after further topology changes.
         """
         self._provider = provider
+        self._resolver = None
         self._routes = {}
         self._by_prefixlen = {}
         self._prefixlens = []
-        self._lookup_cache = {}
+        self._invalidate_memo()
+
+    def set_resolver(self, resolver: Callable[[int], Optional[Route]]) -> None:
+        """Defer population *per destination*: drop current contents and
+        ask ``resolver(int(destination))`` on each index miss.
+
+        The large-topology SPF mode uses this so a router only ever pays
+        for the destinations it actually forwards toward (typically just
+        the core), instead of a full table install.  Resolved routes are
+        held by the memo layers, not ``_routes``, so ``routes()`` /
+        iteration reflect only explicitly installed entries — acceptable
+        because this mode is reserved for bulk topologies where nothing
+        audits full tables.  Like providers, the resolver must snapshot
+        the state it needs.
+        """
+        self._provider = None
+        self._resolver = resolver
+        self._routes = {}
+        self._by_prefixlen = {}
+        self._prefixlens = []
+        self._invalidate_memo()
+
+    def _invalidate_memo(self) -> None:
+        """Drop both memo layers (dict cache and flat slot array)."""
+        if self._lookup_cache:
+            self._lookup_cache = {}
+        if self._flat_slots:
+            self._flat_map.clear()
+            self._flat_slots = []
 
     def _materialise(self) -> None:
         provider = self._provider
@@ -151,8 +213,7 @@ class RoutingTable:
             bucket = self._by_prefixlen[plen] = {}
             self._prefixlens = sorted(self._by_prefixlen, reverse=True)
         bucket[net_int] = route
-        if self._lookup_cache:
-            self._lookup_cache = {}
+        self._invalidate_memo()
 
     def replace_all(self, items: Iterable[Tuple[int, int, Route]]) -> None:
         """Atomically replace the whole table (SPF bulk path).
@@ -173,7 +234,7 @@ class RoutingTable:
         self._routes = routes
         self._by_prefixlen = by_plen
         self._prefixlens = sorted(by_plen, reverse=True)
-        self._lookup_cache = {}
+        self._invalidate_memo()
 
     def remove(self, prefix: IPv4Network) -> None:
         self._materialise()
@@ -185,37 +246,52 @@ class RoutingTable:
         if not bucket:
             del self._by_prefixlen[plen]
             self._prefixlens = sorted(self._by_prefixlen, reverse=True)
-        if self._lookup_cache:
-            self._lookup_cache = {}
+        self._invalidate_memo()
 
     def clear(self) -> None:
         # A pending provider is simply dropped: the eager-equivalent
         # sequence (populate, then clear) also ends with an empty table.
         self._provider = None
+        self._resolver = None
         self._routes.clear()
         self._by_prefixlen.clear()
         self._prefixlens = []
-        if self._lookup_cache:
-            self._lookup_cache = {}
+        self._invalidate_memo()
 
     def lookup(self, destination: IPv4Address) -> Optional[Route]:
         """Best route for ``destination`` (longest prefix wins)."""
+        ids = self._ids
+        if ids is not None:
+            # Flat int-ID fast path: dense-ID array probe, no hashing.
+            dest_id = ids.intern(destination)
+            slot = self._flat_map.get(dest_id)
+            if slot >= 0:
+                return self._flat_slots[slot]
+            best = self._lookup_index(int(destination))
+            self._flat_slots.append(best)
+            self._flat_map.put(dest_id, len(self._flat_slots) - 1)
+            return best
         dest_int = int(destination)
         cached = self._lookup_cache.get(dest_int, _MISS)
         if cached is not _MISS:
             return cached  # type: ignore[return-value]
-        if self._provider is not None:
-            self._materialise()
-        best: Optional[Route] = None
-        for plen in self._prefixlens:
-            route = self._by_prefixlen[plen].get(dest_int & _MASKS[plen])
-            if route is not None:
-                best = route
-                break
+        best = self._lookup_index(dest_int)
         if len(self._lookup_cache) >= _LOOKUP_CACHE_MAX:
             self._lookup_cache = {}
         self._lookup_cache[dest_int] = best
         return best
+
+    def _lookup_index(self, dest_int: int) -> Optional[Route]:
+        """Uncached longest-prefix match via the prefix-length index."""
+        if self._provider is not None:
+            self._materialise()
+        for plen in self._prefixlens:
+            route = self._by_prefixlen[plen].get(dest_int & _MASKS[plen])
+            if route is not None:
+                return route
+        if self._resolver is not None:
+            return self._resolver(dest_int)
+        return None
 
     def lookup_linear(self, destination: IPv4Address) -> Optional[Route]:
         """Reference implementation: naive O(#routes) scan.
@@ -242,6 +318,7 @@ class RoutedNode(Node):
     def __init__(self, name: str, scheduler: Scheduler) -> None:
         super().__init__(name, scheduler)
         self.table = RoutingTable()
+        self.table.bind_ids(scheduler.ids)
         self.local_rx: List[IPDatagram] = []
 
     # -- origination -----------------------------------------------------

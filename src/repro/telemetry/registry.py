@@ -30,10 +30,28 @@ baseline measures against.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from fnmatch import fnmatchcase
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
+
+
+def _plain_prefix(pattern: str) -> Optional[str]:
+    """The literal prefix of ``pattern`` if it is a pure prefix query
+    (a single trailing ``*`` and no other wildcard), else ``None``.
+
+    ``cbt.router.R4.tx.*`` qualifies; ``cbt.router.*.tx.join`` does
+    not.  Pure prefix queries dominate the hot aggregation paths
+    (per-router control-cost sums call one per router), and they can be
+    answered from a sorted-key index in O(log n + matches) instead of
+    fnmatching every instrument in the registry.
+    """
+    if pattern.endswith("*"):
+        head = pattern[:-1]
+        if not any(ch in head for ch in "*?["):
+            return head
+    return None
 
 #: Default histogram bucket upper bounds, in simulation seconds.
 #: Chosen for control-plane latencies: LAN joins land in the first few
@@ -182,6 +200,31 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        # Sorted-name indexes for prefix range queries; rebuilt lazily
+        # whenever instruments were created since the last build
+        # (instruments are never deleted, so a length check suffices).
+        self._counter_keys: List[str] = []
+        self._gauge_keys: List[str] = []
+
+    def _counter_index(self) -> List[str]:
+        if len(self._counter_keys) != len(self._counters):
+            self._counter_keys = sorted(self._counters)
+        return self._counter_keys
+
+    def _gauge_index(self) -> List[str]:
+        if len(self._gauge_keys) != len(self._gauges):
+            self._gauge_keys = sorted(self._gauges)
+        return self._gauge_keys
+
+    def _prefix_range(self, keys: List[str], prefix: str) -> List[str]:
+        start = bisect_left(keys, prefix)
+        out = []
+        for i in range(start, len(keys)):
+            name = keys[i]
+            if not name.startswith(prefix):
+                break
+            out.append(name)
+        return out
 
     def disable(self) -> None:
         """Hand out null instruments from now on (existing ones keep
@@ -243,16 +286,41 @@ class MetricsRegistry:
     def total(self, pattern: str) -> Number:
         """Sum of counter and gauge values whose names match the
         shell-style ``pattern`` (``fnmatch``; ``*`` does cross ``.``
-        boundaries)."""
+        boundaries).  Pure prefix patterns (single trailing ``*``) are
+        answered from the sorted-name index without scanning."""
+        prefix = _plain_prefix(pattern)
+        if prefix is not None:
+            return self.total_prefix(prefix)
         return sum(
             c.value for name, c in self._counters.items() if fnmatchcase(name, pattern)
         ) + sum(
             g.read() for name, g in self._gauges.items() if fnmatchcase(name, pattern)
         )
 
+    def total_prefix(self, prefix: str) -> Number:
+        """Sum of counter and gauge values whose names start with
+        ``prefix`` — O(log instruments + matches)."""
+        counters = self._counters
+        gauges = self._gauges
+        return sum(
+            counters[name].value
+            for name in self._prefix_range(self._counter_index(), prefix)
+        ) + sum(
+            gauges[name].read()
+            for name in self._prefix_range(self._gauge_index(), prefix)
+        )
+
     def matching(self, pattern: str) -> Dict[str, Number]:
         """Counter and gauge values whose names match ``pattern``,
         sorted by name."""
+        prefix = _plain_prefix(pattern)
+        if prefix is not None:
+            out: Dict[str, Number] = {}
+            for name in self._prefix_range(self._counter_index(), prefix):
+                out[name] = self._counters[name].value
+            for name in self._prefix_range(self._gauge_index(), prefix):
+                out.setdefault(name, self._gauges[name].read())
+            return dict(sorted(out.items()))
         merged = {name: c.value for name, c in self._counters.items()}
         for name, gauge in self._gauges.items():
             merged.setdefault(name, gauge.read())

@@ -46,6 +46,71 @@ def _euclidean(a: Tuple[float, float], b: Tuple[float, float]) -> float:
     return math.hypot(a[0] - b[0], a[1] - b[1])
 
 
+#: Node count at which Waxman edge generation switches from the dense
+#: O(n^2) pair loop to geometric-skip sampling, and at which realise()
+#: turns on on-demand (reverse-SPF) unicast routing.  Chosen above every
+#: pinned topology size so their RNG streams and routing tie-breaks stay
+#: byte-identical.
+BULK_TOPOLOGY_MIN = 512
+
+
+def _waxman_edges_dense(
+    graph: Graph,
+    names: List[str],
+    positions: Dict[str, Tuple[float, float]],
+    alpha: float,
+    decay: float,
+    rng: random.Random,
+) -> None:
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            d = _euclidean(positions[u], positions[v])
+            if rng.random() < alpha * math.exp(-d / decay):
+                graph.add_edge(u, v, cost=1.0, delay=max(d, 1.0))
+
+
+def _waxman_edges_sparse(
+    graph: Graph,
+    names: List[str],
+    positions: Dict[str, Tuple[float, float]],
+    alpha: float,
+    decay: float,
+    rng: random.Random,
+) -> None:
+    """Geometric-skip sampling over the n(n-1)/2 candidate pairs.
+
+    Since ``p(d) = alpha * exp(-d / decay) <= alpha``, candidate pairs
+    can be drawn by skipping ahead Geometric(alpha) positions in the
+    flattened pair sequence and thinning each candidate by the
+    remaining ``exp(-d / decay)`` factor — standard proposal/rejection,
+    so each pair is still included independently with exactly ``p(d)``.
+    Expected cost is O(alpha * n^2 + edges) instead of O(n^2) RNG draws
+    and distance computations.  The RNG stream differs from the dense
+    loop, so this path is gated to bulk sizes (no pinned baselines).
+    """
+    n = len(names)
+    log_q = math.log1p(-alpha)  # alpha < 1 is guaranteed by the caller
+    exp = math.exp
+    random_ = rng.random
+    i, j = 0, 0  # j is the offset of the *next* candidate in row i
+    while i < n - 1:
+        u = random_()
+        # Skip Geometric(alpha) - 1 pairs (u == 0.0 cannot occur:
+        # random() is in [0, 1) and 1 - random() in (0, 1]).
+        j += int(math.log(1.0 - u) / log_q)
+        while j >= n - 1 - i:
+            j -= n - 1 - i
+            i += 1
+            if i >= n - 1:
+                return
+        a = names[i]
+        b = names[i + 1 + j]
+        d = _euclidean(positions[a], positions[b])
+        if random_() < exp(-d / decay):
+            graph.add_edge(a, b, cost=1.0, delay=max(d, 1.0))
+        j += 1
+
+
 def waxman_graph(
     n: int,
     alpha: float = 0.25,
@@ -63,13 +128,15 @@ def waxman_graph(
     graph = Graph()
     for name in positions:
         graph.add_node(name)
-    scale = side * math.sqrt(2)
+    # Parenthesised exactly as the historical inline expression
+    # ``alpha * exp(-d / (beta * scale))`` so dense-path edge decisions
+    # stay bit-identical (float multiplication is not associative).
+    decay = beta * (side * math.sqrt(2))
     names = sorted(positions)
-    for i, u in enumerate(names):
-        for v in names[i + 1 :]:
-            d = _euclidean(positions[u], positions[v])
-            if rng.random() < alpha * math.exp(-d / (beta * scale)):
-                graph.add_edge(u, v, cost=1.0, delay=max(d, 1.0))
+    if n >= BULK_TOPOLOGY_MIN and 0.0 < alpha < 1.0:
+        _waxman_edges_sparse(graph, names, positions, alpha, decay, rng)
+    else:
+        _waxman_edges_dense(graph, names, positions, alpha, decay, rng)
     _connect_components(graph, positions)
     return graph
 
@@ -189,6 +256,10 @@ def realise(graph: Graph, with_hosts: bool = True) -> Network:
         for node in graph.nodes:
             subnet = net.add_subnet(f"LAN_{node}", [net.router(node)])
             net.add_host(f"H_{node}", subnet)
+    if len(graph.nodes) >= BULK_TOPOLOGY_MIN:
+        # Bulk topologies: per-destination reverse-SPF resolution
+        # instead of a full Dijkstra + table install per router.
+        net.routing.ondemand = True
     net.converge()
     return net
 

@@ -1,0 +1,164 @@
+"""Flat int-ID fast-path equivalence.
+
+The data plane's flat path (dense-ID slot arrays fronting the routing
+table and FIB, see ``repro.netsim.ids``) is a pure memo layer: every
+observable result must equal the legacy dict path.  Property tests
+check lookup equivalence on arbitrary tables; a subprocess test checks
+the ``REPRO_FLAT=0`` shim produces byte-identical end-to-end traces.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from ipaddress import IPv4Address, IPv4Network
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.ids import AddressInterner, IntSlotMap
+from repro.routing.table import Route, RoutingTable
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class _FakeInterface:
+    """Stands in for a NIC; the table never inspects it on lookup."""
+
+    def __init__(self, tag: int) -> None:
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"_FakeInterface({self.tag})"
+
+
+def _prefixes() -> st.SearchStrategy:
+    return st.tuples(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=8, max_value=30),
+    )
+
+
+def _make_table(prefixes, bind: bool) -> RoutingTable:
+    table = RoutingTable()
+    if bind:
+        table.bind_ids(AddressInterner())
+    for index, (addr_int, plen) in enumerate(prefixes):
+        network = IPv4Network((addr_int, plen), strict=False)
+        table.install(
+            Route(
+                prefix=network,
+                interface=_FakeInterface(index),
+                next_hop=IPv4Address(addr_int | 1),
+                metric=float(index),
+            )
+        )
+    return table
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    prefixes=st.lists(_prefixes(), min_size=0, max_size=16),
+    destinations=st.lists(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        min_size=1,
+        max_size=24,
+    ),
+)
+def test_flat_and_dict_lookup_agree_with_linear_reference(
+    prefixes, destinations
+):
+    flat = _make_table(prefixes, bind=True)
+    plain = _make_table(prefixes, bind=False)
+    for dest_int in destinations:
+        destination = IPv4Address(dest_int)
+        expected = plain.lookup_linear(destination)
+        got_flat = flat.lookup(destination)
+        got_plain = plain.lookup(destination)
+        for got in (got_flat, got_plain):
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.prefix == expected.prefix
+                assert got.interface.tag == expected.interface.tag
+        # Memoised second lookup returns the identical object.
+        assert flat.lookup(destination) is got_flat
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=1023),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_int_slot_map_matches_dict_model(ops):
+    """IntSlotMap (numpy or array fallback) behaves as {index: slot}."""
+    slot_map = IntSlotMap()
+    model = {}
+    for index, slot in ops:
+        slot_map.put(index, slot)
+        model[index] = slot
+    for index in range(260):
+        assert slot_map.get(index) == model.get(index, -1)
+    slot_map.clear()
+    for index, _slot in ops:
+        assert slot_map.get(index) == -1
+
+
+_TRACE_SCRIPT = r"""
+import hashlib, sys
+from repro.harness.scenarios import build_cbt_group, pick_members, send_data
+from repro.topology.figures import build_figure1
+from repro.topology.generators import waxman_network
+
+def signature(net):
+    return hashlib.sha256(
+        "\n".join(
+            f"{r.time:.9f}|{r.kind}|{r.link_name}|{r.node_name}|"
+            f"{r.datagram.proto}|{r.datagram.uid}"
+            for r in net.trace.records
+        ).encode()
+    ).hexdigest()
+
+net = build_figure1()
+domain, group = build_cbt_group(net, ["A", "B", "D"], cores=["R4"])
+send_data(net, "A", group, count=2)
+print("figure1", signature(net))
+
+net = waxman_network(16, seed=7)
+net.trace.enabled = True
+members = pick_members(net, 5, seed=7)
+domain, group = build_cbt_group(net, members, cores=["N0"])
+send_data(net, members[0], group, count=1)
+print("waxman16", signature(net))
+"""
+
+
+def test_repro_flat_shim_traces_are_byte_identical():
+    """REPRO_FLAT=0 (legacy dict plane) and the default flat plane
+    produce byte-identical packet traces on pinned scenarios."""
+    outputs = {}
+    for flat in ("1", "0"):
+        env = dict(os.environ, REPRO_FLAT=flat)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _TRACE_SCRIPT],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout[-2000:]
+        outputs[flat] = proc.stdout
+    assert outputs["1"] == outputs["0"]
+    assert "figure1" in outputs["1"] and "waxman16" in outputs["1"]

@@ -1,0 +1,130 @@
+"""Shard-by-subnet parallel simulation determinism.
+
+Mirrors the parallel-CI pins in ``tests/test_parallel_ci.py``: the
+merged outcome of a sharded run — fingerprint, merged trace, merged
+telemetry, round count — must be byte-identical for every worker
+count, because workers only change how many region replicas run
+concurrently, never what any replica computes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.campaign import TOPOLOGIES
+from repro.harness.sharding import (
+    owner_map,
+    partition_regions,
+    run_sharded,
+)
+
+
+def _build(topology: str, seed: int = 0):
+    return TOPOLOGIES[topology].build(seed)
+
+
+class TestPartitioning:
+    def test_partition_covers_all_routers_exactly_once(self):
+        for topology in sorted(TOPOLOGIES):
+            network, _members, _cores = _build(topology)
+            for parts in (1, 2, 3, 5):
+                regions = partition_regions(network, parts)
+                seen = [name for region in regions for name in region]
+                assert sorted(seen) == sorted(network.routers)
+                assert len(seen) == len(set(seen))
+                assert all(region for region in regions)
+
+    def test_partition_only_cuts_p2p_links(self):
+        """Every multi-access subnet stays inside a single region."""
+        for topology in sorted(TOPOLOGIES):
+            network, _members, _cores = _build(topology)
+            regions = partition_regions(network, 3)
+            owners = owner_map(network, regions)
+            router_names = set(network.routers)
+            for link in network.links.values():
+                attached = [i.node.name for i in link.interfaces]
+                routers = [n for n in attached if n in router_names]
+                is_p2p = len(attached) == 2 and len(routers) == 2
+                if not is_p2p:
+                    assert len({owners[n] for n in routers}) <= 1, (
+                        f"{topology}: subnet {link.name} cut across regions"
+                    )
+
+    def test_partition_is_deterministic_and_clamped(self):
+        network, _members, _cores = _build("figure1")
+        assert partition_regions(network, 2) == partition_regions(network, 2)
+        huge = partition_regions(network, 99)
+        assert all(region for region in huge)
+        assert sorted(n for r in huge for n in r) == sorted(network.routers)
+
+    def test_hosts_follow_their_subnet_router(self):
+        network, _members, _cores = _build("grid9")
+        regions = partition_regions(network, 3)
+        owners = owner_map(network, regions)
+        for host_name in network.hosts:
+            assert host_name in owners
+
+
+class TestShardedDeterminism:
+    def test_figure1_workers_1_vs_8_byte_identical(self):
+        one = run_sharded("figure1", seed=0, parts=2, workers=1)
+        eight = run_sharded("figure1", seed=0, parts=2, workers=8)
+        assert one.merged_fingerprint == eight.merged_fingerprint
+        assert one.merged_trace() == eight.merged_trace()
+        assert one.merged_telemetry() == eight.merged_telemetry()
+        assert one.rounds == eight.rounds
+        assert [r.fingerprint for r in one.results] == [
+            r.fingerprint for r in eight.results
+        ]
+
+    def test_waxman16_workers_1_vs_8_byte_identical(self):
+        one = run_sharded("waxman16", seed=0, parts=4, workers=1)
+        eight = run_sharded("waxman16", seed=0, parts=4, workers=8)
+        assert one.merged_fingerprint == eight.merged_fingerprint
+        assert one.merged_trace() == eight.merged_trace()
+        assert one.merged_telemetry() == eight.merged_telemetry()
+        assert one.rounds == eight.rounds
+
+    def test_inline_matches_process_fanout(self):
+        """workers=0 (inline, no processes) equals the process path —
+        the executor is a pure function of its params."""
+        inline = run_sharded("grid9", seed=0, parts=3, workers=0)
+        procs = run_sharded("grid9", seed=0, parts=3, workers=2)
+        assert inline.merged_fingerprint == procs.merged_fingerprint
+        assert inline.merged_trace() == procs.merged_trace()
+
+
+class TestShardedSemantics:
+    @pytest.fixture(scope="class")
+    def figure1_run(self):
+        return run_sharded("figure1", seed=0, parts=2, workers=0)
+
+    def test_converges_to_fixed_point(self, figure1_run):
+        assert 1 < figure1_run.rounds <= 32
+
+    def test_cross_region_delivery_exactly_once(self, figure1_run):
+        delivered = figure1_run.delivered()
+        sender = figure1_run.members[0]
+        assert delivered[sender] == 0
+        for member in figure1_run.members[1:]:
+            assert delivered[member] == 1, (member, delivered)
+
+    def test_tree_state_spans_regions(self, figure1_run):
+        """Joins crossed boundaries: every region holds FIB state."""
+        states = [r.extra["state"] for r in figure1_run.results]
+        assert all(state > 0 for state in states)
+
+    def test_boundary_emissions_flowed_both_ways(self, figure1_run):
+        emission_counts = [
+            len(r.extra["emissions"]) for r in figure1_run.results
+        ]
+        assert all(count > 0 for count in emission_counts)
+
+    def test_single_region_needs_no_replay(self):
+        run = run_sharded("figure1", seed=0, parts=1, workers=0)
+        assert run.parts == 1
+        assert run.rounds == 1
+        assert not run.results[0].extra["emissions"]
+        delivered = run.delivered()
+        for member in run.members[1:]:
+            assert delivered[member] == 1
