@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.bootstrap import CBTDomain
 from repro.core.timers import CBTTimers
 from repro.netsim.faults import (
+    FaultEvent,
     FaultSchedule,
     JitterBurst,
     LinkFlap,
@@ -177,6 +178,111 @@ def jitter_storm(ctx: ChaosContext) -> FaultSchedule:
     return schedule
 
 
+@dataclass(frozen=True)
+class DomainEvent(FaultEvent):
+    """A protocol-level action (membership churn, a migration phase)
+    expressed as a fault event, so it rides the FaultSchedule: it is
+    fingerprinted with the other faults, counts toward ``last_time``,
+    and fires deterministically off the scheduler."""
+
+    description: str = ""
+    action: Optional[Callable[[], None]] = None
+
+    def actions(self, network):
+        return [(self.at, self.description, self.action)]
+
+
+def _force_handover(coordinator) -> None:
+    """Make the coordinator hand over *now*, even when the locality
+    placement already agrees with the announced primary (the scenario
+    must exercise a handover either way)."""
+    from repro.core.placement import rank_cores
+
+    if coordinator.evaluate(force=True) is not None:
+        return
+    current = coordinator.core_routers()
+    members = coordinator.member_routers()
+    if not current or not members:
+        return
+    ranked = [
+        name
+        for name in rank_cores(
+            coordinator.graph, members, count=len(coordinator.graph.nodes)
+        )
+        if name != current[0]
+    ]
+    if ranked:
+        coordinator.migrate(ranked[:2])
+
+
+def migration_churn(ctx: ChaosContext) -> FaultSchedule:
+    """Core migration overlapping membership churn: a member's quit is
+    in flight when the new core list is announced, and a fresh join
+    races the old primary's retirement."""
+    from repro.core.migration import MigrationConfig, MigrationCoordinator
+
+    coordinator = MigrationCoordinator(
+        ctx.domain, ctx.group, config=MigrationConfig(stretch_threshold=1.0)
+    )
+    rng = ctx.rng("migration_churn")
+    leaver = rng.choice(sorted(ctx.members))
+    outsiders = sorted(set(ctx.network.hosts) - set(ctx.members))
+    joiner = rng.choice(outsiders) if outsiders else None
+    step = ctx.timers.pend_join_interval
+    schedule = FaultSchedule()
+    schedule.add(
+        DomainEvent(
+            at=ctx.start,
+            description=f"leave {leaver}",
+            action=lambda: ctx.domain.leave_host(leaver, ctx.group),
+        )
+    )
+    # The leave's quit is still in flight when the handover announces.
+    schedule.add(
+        DomainEvent(
+            at=ctx.start + step,
+            description="migrate (forced)",
+            action=lambda: _force_handover(coordinator),
+        )
+    )
+    if joiner is not None:
+        # Graft confirmation is first polled ~2 steps after announce;
+        # this join races the retirement announcement.
+        schedule.add(
+            DomainEvent(
+                at=ctx.start + step * 2.5,
+                description=f"join {joiner}",
+                action=lambda: ctx.domain.join_host(joiner, ctx.group),
+            )
+        )
+    return schedule
+
+
+def migration_partition(ctx: ChaosContext) -> FaultSchedule:
+    """Core migration with a tree link cut mid-handover: the graft must
+    retry across the cut and the handover complete after it heals."""
+    from repro.core.migration import MigrationConfig, MigrationCoordinator
+
+    coordinator = MigrationCoordinator(
+        ctx.domain, ctx.group, config=MigrationConfig(stretch_threshold=1.0)
+    )
+    name = ctx.rng("migration_partition").choice(ctx.tree_links())
+    step = ctx.timers.pend_join_interval
+    down = ctx.timers.echo_timeout + ctx.timers.reconnect_timeout * 0.5
+    schedule = FaultSchedule()
+    schedule.add(
+        DomainEvent(
+            at=ctx.start,
+            description="migrate (forced)",
+            action=lambda: _force_handover(coordinator),
+        )
+    )
+    # Cut while the graft is in flight (before the first confirmation
+    # poll at ~2 steps); heal before the reconnect timeout gives up.
+    schedule.add(Partition(at=ctx.start + step, links=(name,), duration=down))
+    return schedule
+
+
 #: The catalogue, in campaign order.
 SCENARIOS: Dict[str, Callable[[ChaosContext], FaultSchedule]] = {
     "lossy_links": lossy_links,
@@ -186,6 +292,8 @@ SCENARIOS: Dict[str, Callable[[ChaosContext], FaultSchedule]] = {
     "router_crash": router_crash,
     "core_crash": core_crash,
     "jitter_storm": jitter_storm,
+    "migration_churn": migration_churn,
+    "migration_partition": migration_partition,
 }
 
 #: Scenarios used by ``repro chaos --quick`` (fast, still varied).

@@ -49,6 +49,7 @@ EXPERIMENTS = [
     ("E16", "bench_core_redundancy.py", "core redundancy ablation"),
     ("E17", "bench_pim_comparison.py", "CBT vs PIM-SM (RP tree / SPT switchover)"),
     ("E18", "bench_legacy_join.py", "draft-02 vs draft-03 join procedure"),
+    ("E19", "bench_core_migration.py", "core migration: locality handover"),
 ]
 
 

@@ -49,6 +49,29 @@ class GroupCoordinator:
         self._groups[group] = ordered
         return ordered
 
+    def update_group(
+        self, group: IPv4Address, cores: Sequence[IPv4Address]
+    ) -> Tuple[IPv4Address, ...]:
+        """Re-announce a group's core list (migration handover).
+
+        Replaces the recorded list and pushes a cache invalidation plus
+        the fresh list to every registered protocol, so no router keeps
+        serving the pre-announcement answer out of its ``group_cores``
+        cache.
+        """
+        if group not in self._groups:
+            raise KeyError(f"group {group} was never created")
+        if not cores:
+            raise ValueError("a group needs at least one core")
+        ordered = tuple(cores)
+        if ordered == self._groups[group]:
+            return ordered
+        self._groups[group] = ordered
+        for protocol in self._protocols:
+            protocol.invalidate_cores(group)
+            protocol.learn_cores(group, ordered, announced=True)
+        return ordered
+
     def cores_for(self, group: IPv4Address) -> Tuple[IPv4Address, ...]:
         return self._groups.get(group, ())
 
@@ -128,6 +151,13 @@ class CBTDomain:
         """Create a group with the given cores (routers, names, or addresses)."""
         addresses = tuple(self._core_address(core) for core in cores)
         return self.coordinator.create_group(group, addresses)
+
+    def update_group(
+        self, group: IPv4Address, cores: Sequence[CoreSpec]
+    ) -> Tuple[IPv4Address, ...]:
+        """Re-announce a group's core list (see GroupCoordinator)."""
+        addresses = tuple(self._core_address(core) for core in cores)
+        return self.coordinator.update_group(group, addresses)
 
     def _core_address(self, core: CoreSpec) -> IPv4Address:
         if isinstance(core, Router):

@@ -14,13 +14,16 @@ experiment (E4):
 * ``member_centroid_core`` — minimises total distance to the member
   set (group-aware placement);
 * ``best_of_candidates`` — evaluate k random candidates against a
-  member set and keep the best, modelling a practical middle ground.
+  member set and keep the best, modelling a practical middle ground;
+* ``locality_cores`` — k-median-style clustering of the member set
+  into locality groups, one core per cluster (the multi-core list the
+  migration subsystem announces per group).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.topology.graph import Graph
 
@@ -68,7 +71,10 @@ def best_of_candidates(
         raise ValueError(f"k must be positive, got {k}")
     if score is None:
         score = lambda g, node, m: g.total_distance(node, m, weight="delay")
-    candidates = [rng.choice(graph.nodes) for _ in range(k)]
+    # Sample WITHOUT replacement: k=3 must evaluate 3 distinct routers,
+    # not up to 3 (choice-with-replacement silently shrank the pool).
+    nodes = graph.nodes
+    candidates = rng.sample(nodes, min(k, len(nodes)))
     return min(candidates, key=lambda n: (score(graph, n, members), n))
 
 
@@ -84,3 +90,107 @@ def rank_cores(
         key=lambda n: (graph.total_distance(n, members, weight="delay"), n),
     )
     return ranked[:count]
+
+
+def _member_distances(
+    graph: Graph, members: Sequence[str], weight: str
+) -> Dict[str, Dict[str, float]]:
+    """Per-member shortest-path distance maps (one Dijkstra each)."""
+    return {m: graph.dijkstra(m, weight=weight)[0] for m in members}
+
+
+def _cluster_medoid(
+    graph: Graph, cluster: Sequence[str], weight: str
+) -> str:
+    """Router minimising total distance to the cluster's members."""
+    return min(
+        graph.nodes,
+        key=lambda n: (graph.total_distance(n, cluster, weight=weight), n),
+    )
+
+
+def locality_cores(
+    graph: Graph,
+    members: Sequence[str],
+    count: int = 2,
+    weight: str = "delay",
+    max_rounds: int = 8,
+) -> List[str]:
+    """Ranked multi-core list from member-locality clustering.
+
+    A k-median-style pass over the member set: ``count`` medoids are
+    seeded by the farthest-point heuristic (first medoid = the
+    centroid member), members are assigned to their nearest medoid,
+    and each cluster's medoid is recomputed until fixed point (or
+    ``max_rounds``).  Each cluster then contributes one core — the
+    router minimising total distance to that cluster — and the
+    de-duplicated core set is ordered by total distance to the *whole*
+    member set, so the first entry is the best single core (the
+    primary) and the rest are locality-spread secondaries.
+
+    Fully deterministic: every choice breaks ties by node name.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    members = sorted(dict.fromkeys(members))
+    if not members:
+        raise ValueError("member set must not be empty")
+    for member in members:
+        if member not in graph.nodes:
+            raise KeyError(f"member {member} is not a node of the graph")
+    k = min(count, len(members))
+    dist = _member_distances(graph, members, weight)
+
+    # Seed: centroid member first, then farthest-point additions.
+    seeds = [
+        min(
+            members,
+            key=lambda m: (
+                sum(dist[m].get(o, float("inf")) for o in members),
+                m,
+            ),
+        )
+    ]
+    while len(seeds) < k:
+        seeds.append(
+            max(
+                (m for m in members if m not in seeds),
+                key=lambda m: (
+                    min(dist[m].get(s, float("inf")) for s in seeds),
+                    m,
+                ),
+            )
+        )
+
+    medoids = list(seeds)
+    for _ in range(max_rounds):
+        clusters: Dict[str, List[str]] = {m: [] for m in medoids}
+        for member in members:
+            nearest = min(
+                medoids,
+                key=lambda md: (dist[member].get(md, float("inf")), md),
+            )
+            clusters[nearest].append(member)
+        updated = sorted(
+            _cluster_medoid(graph, cluster, weight)
+            for cluster in clusters.values()
+            if cluster
+        )
+        if updated == sorted(medoids):
+            break
+        medoids = updated
+
+    # One core per cluster; dedup; rank by total distance to everyone.
+    cores = sorted(
+        dict.fromkeys(medoids),
+        key=lambda n: (graph.total_distance(n, members, weight=weight), n),
+    )
+    if len(cores) < count:
+        # Clustering collapsed (or count > members): pad with the next
+        # best distinct routers so callers always get up to ``count``.
+        for extra in rank_cores(graph, members, count=len(graph.nodes)):
+            if extra not in cores:
+                cores.append(extra)
+            if len(cores) == min(count, len(graph.nodes)):
+                break
+    return cores[:count]

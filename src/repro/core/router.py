@@ -160,6 +160,14 @@ class CBTProtocol:
         #: group -> ordered core list (primary first), learnt from core
         #: reports, passing joins, or the coordinator.
         self.group_cores: Dict[IPv4Address, Tuple[IPv4Address, ...]] = {}
+        #: group -> the core list as announced by the coordinator (the
+        #: stand-in for the external core advertisement protocol).  An
+        #: announced list is ground truth: core lists riding protocol
+        #: messages that were in flight *before* a re-announcement must
+        #: not clobber it — otherwise a migration's final core list can
+        #: be overwritten by a pre-handover join retransmit and leave
+        #: the new primary believing it is not a core at all.
+        self._announced_cores: Dict[IPv4Address, Tuple[IPv4Address, ...]] = {}
         self.pending: Dict[IPv4Address, PendingJoin] = {}
         self.rejoins: Dict[IPv4Address, RejoinAttempt] = {}
         #: groups we want to join as soon as core information arrives.
@@ -201,6 +209,7 @@ class CBTProtocol:
         self._join_latency = registry.histogram(f"{prefix}.join_latency")
         self._c_joins_completed = registry.counter(f"{prefix}.joins_completed")
         self._c_quit_retries = registry.counter(f"{prefix}.quit_retries")
+        self._c_stale_cores = registry.counter(f"{prefix}.stale_cores_ignored")
         self.fib.bind_counters(
             registry.counter(f"{prefix}.fib_adds"),
             registry.counter(f"{prefix}.fib_removes"),
@@ -283,9 +292,28 @@ class CBTProtocol:
         if self.coordinator is not None:
             cores = self.coordinator.cores_for(group)
             if cores:
+                # Cached until :meth:`invalidate_cores` — the
+                # coordinator pushes an invalidation whenever the
+                # group's core list is re-announced, so the cache can
+                # no longer serve a pre-migration answer forever.  The
+                # coordinator is the advertisement ground truth, so
+                # this read is also an announcement (stale message-
+                # borne lists must not overwrite it).
                 self.group_cores[group] = cores
+                self._announced_cores[group] = cores
                 return cores
         return ()
+
+    def invalidate_cores(self, group: IPv4Address) -> None:
+        """Drop cached core knowledge for ``group``.
+
+        Called on core re-announcement (coordinator update, migration
+        handover): the next :meth:`cores_for` re-reads the coordinator,
+        and any target-core index into the stale list is discarded.
+        """
+        self.group_cores.pop(group, None)
+        self._announced_cores.pop(group, None)
+        self._target_core_index.pop(group, None)
 
     def is_core_for(self, group: IPv4Address) -> bool:
         return any(self.router.owns_address(c) for c in self.cores_for(group))
@@ -297,10 +325,99 @@ class CBTProtocol:
     def has_gdr(self, vif: int, group: IPv4Address) -> bool:
         return (vif, group) in self._gdr_known
 
-    def learn_cores(self, group: IPv4Address, cores: Sequence[IPv4Address]) -> None:
-        """Record the ordered core list for ``group``."""
-        if cores:
-            self.group_cores[group] = tuple(cores)
+    def learn_cores(
+        self,
+        group: IPv4Address,
+        cores: Sequence[IPv4Address],
+        announced: bool = False,
+    ) -> None:
+        """Record the ordered core list for ``group``.
+
+        ``announced`` marks the coordinator's push on (re-)announcement
+        — ground truth that replaces anything cached.  Unannounced
+        lists (riding joins, acks, core reports) fill gaps but must not
+        overwrite an announced list with a different one: a pre-
+        handover message still in flight would otherwise roll the
+        migration's re-announcement back on whichever routers it
+        crosses.  Ignored rollbacks are counted, not evented, so a late
+        straggler cannot break quiescence detection.
+        """
+        if not cores:
+            return
+        ordered = tuple(cores)
+        if announced:
+            self.group_cores[group] = ordered
+            self._announced_cores[group] = ordered
+            if self.router.owns_address(ordered[0]):
+                self._promote_to_primary_root(group)
+            return
+        current = self._announced_cores.get(group)
+        if current is not None and ordered != current:
+            self._c_stale_cores.inc()
+            return
+        self.group_cores[group] = ordered
+
+    def _promote_to_primary_root(self, group: IPv4Address) -> None:
+        """A core re-announcement just made this router the primary.
+
+        The primary core is *the* tree root (§2.1), but a router
+        promoted mid-life may still be an ordinary on-tree node with an
+        upstream parent — or a join of its own in flight.  Keeping that
+        stale upstream welds a parent cycle the moment the old primary
+        grafts toward us (its join terminates here and is acked through
+        our old chain back to it).  So on promotion we stand as root:
+        abandon any join/rejoin/quit in progress, quit toward the old
+        parent so it drops our child state, and answer any downstream
+        joins we were holding ourselves.
+        """
+        entry = self.fib.get(group)
+        pend = self.pending.pop(group, None)
+        if entry is None and pend is None and group not in self.rejoins:
+            return  # never touched this group: nothing to shed
+        self.rejoins.pop(group, None)
+        self._cancel_rejoin_timer(group)
+        self._cancel_quit(group)
+        if pend is not None:
+            pend.cancel_timers()
+        entry = self.fib.get_or_create(group)
+        if entry.has_parent:
+            self._send_quit_to(group, entry.parent_address)
+            entry.clear_parent()
+            self._parent_last_reply.pop(group, None)
+        self._record("core_promoted", group)
+        if pend is not None:
+            # Downstream joins cached behind our own join: we are the
+            # root now, so they terminate (and get acked) right here.
+            self._replay_cached(pend)
+
+    def graft_toward(self, group: IPv4Address, cores: Sequence[IPv4Address]) -> bool:
+        """Migration handover graft: re-home this (old-primary) root
+        under the new primary with an active rejoin (§6.2 flavour).
+
+        Mirrors the `_parent_failed` recovery path: the downstream
+        branch lying on the join path is flushed first, otherwise the
+        rejoin would terminate on our own descendant and weld a cycle
+        that §6.3 NACTIVE detection then has to unpick.  Returns True
+        when a join was originated (or a retry chain armed).
+        """
+        cores = tuple(cores)
+        entry = self.fib.get(group)
+        if not cores or entry is None or entry.has_parent:
+            return False
+        if self.router.owns_address(cores[0]):
+            return False  # still the primary: nothing to graft toward
+        if group in self.pending:
+            return False  # a join of our own is already in flight
+        self._cancel_quit(group)
+        self._record("graft", group, detail=str(cores[0]))
+        self._flush_child_on_path(group, cores[0])
+        return self._join_or_arm_retry(
+            group,
+            cores=cores,
+            target_core=cores[0],
+            subcode=JoinSubcode.REJOIN_ACTIVE,
+            origin=self.address,
+        )
 
     def events_of(self, kind: str) -> List[ProtocolEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -311,7 +428,18 @@ class CBTProtocol:
 
     def _on_core_report(self, interface: Interface, report: CoreReport) -> None:
         self.learn_cores(report.group, report.cores)
-        self._target_core_index[report.group] = report.target_core
+        if 0 <= report.target_core < len(report.cores):
+            self._target_core_index[report.group] = report.target_core
+        else:
+            # Malformed (or stale relative to its own core list) report:
+            # storing the index would let a later join dereference past
+            # the learned tuple.  Reject it — joins fall back to the
+            # primary — and count the rejection.
+            self._record(
+                "core_report_rejected",
+                report.group,
+                detail=f"target_core={report.target_core} cores={len(report.cores)}",
+            )
         if report.group in self._want_join:
             vif = self._want_join.pop(report.group)
             self._maybe_join(report.group, self.router.interface_for_vif(vif))
@@ -512,6 +640,14 @@ class CBTProtocol:
             return
         pend.cancel_timers()
         self._nack_cached(pend)
+        if self.is_primary_core_for(group):
+            # Promoted to primary while this join was in flight (core
+            # re-announcement): the primary is the root and must not
+            # chase foreign cores.  Stand as root.
+            self.rejoins.pop(group, None)
+            self._cancel_rejoin_timer(group)
+            self.fib.get_or_create(group)
+            return
         attempt = self.rejoins.get(group)
         now = self.router.scheduler.now
         if attempt is None:
@@ -853,13 +989,18 @@ class CBTProtocol:
         if (
             subcode == JoinSubcode.REJOIN_ACTIVE
             and not self.router.owns_address(message.target_core)
-            and not self.is_core_for(message.group)
+            and not self.is_primary_core_for(message.group)
             and entry.has_parent
         ):
-            # §6.3: a non-core on-tree router converts an active rejoin
-            # into the NACTIVE loop-detection message and sends it up
-            # its parent interface, inserting its own address in the
+            # §6.3: an on-tree router converts an active rejoin into
+            # the NACTIVE loop-detection message and sends it up its
+            # parent interface, inserting its own address in the
             # core-address field so the primary can ack it directly.
+            # Secondary cores are NOT exempt: during a core migration
+            # the old primary's graft can terminate on the old
+            # *secondary* — its own descendant — and skipping the
+            # NACTIVE walk there welds a silent forwarding loop.  Only
+            # the primary (a true root, never parented) skips it.
             converted = message.with_fields(
                 code=int(JoinSubcode.REJOIN_NACTIVE),
                 target_core=self.address,
@@ -1002,8 +1143,15 @@ class CBTProtocol:
     ) -> None:
         subcode = JoinAckSubcode(message.code)
         if subcode == JoinAckSubcode.REJOIN_NACTIVE:
-            # Direct confirmation from the primary core that the
-            # NACTIVE rejoin we converted did not describe a loop.
+            # Confirmation from the primary core that the NACTIVE
+            # rejoin we converted did not describe a loop.  The
+            # converting router's address rides in the core field; in
+            # transit we are just a relay hop.
+            if message.target_core is not None and not self.router.owns_address(
+                message.target_core
+            ):
+                self._forward_nactive_ack(message)
+                return
             self._record("nactive_confirmed", message.group)
             return
         group = message.group
@@ -1143,9 +1291,12 @@ class CBTProtocol:
             self._break_loop(group)
             return
         if self.is_primary_core_for(group):
-            # Ack directly to the converting router, whose address
-            # rides in the core-address field (§8.3.1).
-            self._send_control(
+            # Ack the converting router, whose address rides in the
+            # core-address field (§8.3.1).  Like every other CBT
+            # control message it travels hop-by-hop: each CBT router
+            # on the unicast path relays it (and counts it), rather
+            # than one protocol send silently crossing several links.
+            self._forward_nactive_ack(
                 CBTControlMessage(
                     msg_type=MessageType.JOIN_ACK,
                     code=int(JoinAckSubcode.REJOIN_NACTIVE),
@@ -1153,13 +1304,21 @@ class CBTProtocol:
                     origin=message.origin,
                     target_core=message.target_core,
                     cores=self.cores_for(group),
-                ),
-                message.target_core,
+                )
             )
             return
         entry = self.fib.get(group)
         if entry is not None and entry.has_parent:
             self._send_control(message, entry.parent_address)
+
+    def _forward_nactive_ack(self, message: CBTControlMessage) -> None:
+        """Relay a REJOIN-NACTIVE ack one hop toward its converting
+        router (the address in the core field)."""
+        resolved = self._resolve_upstream(message.target_core)
+        if resolved is None:
+            self._record("no_route", message.group, detail=str(message.target_core))
+            return
+        self._send_control(message, resolved[0])
 
     #: Loop detections tolerated before giving up on a group entirely.
     MAX_LOOP_BREAKS = 8
@@ -1209,6 +1368,16 @@ class CBTProtocol:
             entry = self.fib.get(group)
             if entry is not None and entry.has_parent:
                 return  # already reattached
+            if self.is_primary_core_for(group):
+                # A core-list re-announcement can promote us to primary
+                # while a rejoin attempt (seeded when we were ordinary)
+                # is still armed.  The primary is the root: cycling on
+                # to a foreign core would graft the root under its own
+                # tree.  Stand as root and drop the attempt.
+                self.rejoins.pop(group, None)
+                self._cancel_rejoin_timer(group)
+                self.fib.get_or_create(group)
+                return
             if attempt.expired(
                 self.router.scheduler.now, self.timers.reconnect_timeout
             ) and not self.is_core_for(group):
@@ -1377,6 +1546,26 @@ class CBTProtocol:
         if member_vifs:
             cores = self.cores_for(group)
             if cores:
+                if self.is_primary_core_for(group):
+                    # The re-join must mirror _maybe_join's core logic:
+                    # the primary IS the root, so "rejoin toward
+                    # cores[0]" would target our own address — and the
+                    # no-route fallback then arms a retry that grafts
+                    # the primary under a *secondary*, inverting the
+                    # tree (found by the migration chaos scenarios).
+                    self.fib.get_or_create(group)
+                    self._record("joined", group, detail="primary core root")
+                    return
+                if self.is_core_for(group):
+                    self.fib.get_or_create(group)
+                    self._join_or_arm_retry(
+                        group,
+                        cores=cores,
+                        target_core=cores[0],
+                        subcode=JoinSubcode.REJOIN_ACTIVE,
+                        origin=self.address,
+                    )
+                    return
                 origin = self.router.interface_for_vif(member_vifs[0]).address
                 self._join_or_arm_retry(
                     group,

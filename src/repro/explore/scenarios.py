@@ -126,6 +126,26 @@ def _build_flap_join() -> ExploreWorld:
     return ExploreWorld(network, domain, group, ["A", "H", "E"], actions)
 
 
+def _build_migration_race() -> ExploreWorld:
+    # H's leave puts a QUIT in flight just as the handover announces
+    # (promotion of the on-tree secondary R9 to primary — the stale
+    # parent-shedding path), and J's join lands in the window where the
+    # old primary R4 retires.  The explorer perturbs delivery order and
+    # loss of the racing JOIN/QUIT handshakes across all three phases.
+    from repro.core.migration import MigrationConfig, MigrationCoordinator
+
+    network, domain, group = _stand_up(["A", "B", "H"])
+    coordinator = MigrationCoordinator(
+        domain, group, config=MigrationConfig(stretch_threshold=1.0)
+    )
+    actions = [
+        (0.0, _leave(domain, "H", group)),
+        (4.05, lambda: coordinator.migrate(["R9", "R2"])),
+        (6.0, _join(domain, "J", group)),
+    ]
+    return ExploreWorld(network, domain, group, ["A", "B", "J"], actions)
+
+
 def _flap_join_faults(
     world: ExploreWorld,
 ) -> List[Tuple[str, Callable[[], None]]]:
@@ -215,6 +235,26 @@ SCENARIOS: Dict[str, ExploreScenario] = {
             settle=12.0,
             gate_types=("JOIN_REQUEST", "JOIN_ACK"),
             fault_candidates=_flap_join_faults,
+            check_loops=False,
+        ),
+        ExploreScenario(
+            name="migration-race",
+            description=(
+                "A make-before-break core handover (R4 -> R9) races a "
+                "member's quit (in flight at announcement) and a fresh "
+                "join (landing at retirement); explores delivery order "
+                "and loss of the JOIN/QUIT handshakes spanning the "
+                "announce, graft, and retire phases."
+            ),
+            build=_build_migration_race,
+            window=7.0,
+            settle=12.0,
+            gate_types=(
+                "JOIN_REQUEST",
+                "JOIN_ACK",
+                "QUIT_REQUEST",
+                "QUIT_ACK",
+            ),
             check_loops=False,
         ),
     )

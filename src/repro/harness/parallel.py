@@ -62,6 +62,7 @@ REPO_ROOT = os.path.dirname(
 DEFAULT_TIMEOUTS: Dict[str, float] = {
     "chaos": 120.0,
     "explore": 600.0,
+    "migration": 300.0,
     "bench": 1800.0,
     "pytest": 1800.0,
     "lint": 600.0,
@@ -206,6 +207,28 @@ def _execute_chaos(params: Dict[str, object]) -> Dict[str, object]:
     return {
         "status": "ok" if ok else "failed",
         "fingerprint": stable_digest("chaos", result.fingerprint()),
+        "detail": detail,
+        "metrics": metrics,
+    }
+
+
+def _execute_migration(params: Dict[str, object]) -> Dict[str, object]:
+    from repro.harness.migration_cell import run_migration_cell
+
+    result = run_migration_cell(
+        topology=str(params["topology"]), seed=int(params["seed"])
+    )
+    ok = result.clean and result.migrated
+    detail = [] if ok else (
+        [f"migrated={result.migrated} recovered={result.recovered}"]
+        + [f"violation: {line}" for line in result.violations[:10]]
+    )
+    metrics = dict(result.metrics)
+    metrics["ci.migration.cells"] = 1
+    metrics["ci.migration.clean"] = 1 if result.clean else 0
+    return {
+        "status": "ok" if ok else "failed",
+        "fingerprint": stable_digest("migration", result.fingerprint()),
         "detail": detail,
         "metrics": metrics,
     }
@@ -467,6 +490,7 @@ def _execute_shard(params: Dict[str, object]) -> Dict[str, object]:
 
 EXECUTORS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
     "chaos": _execute_chaos,
+    "migration": _execute_migration,
     "explore": _execute_explore,
     "bench": _execute_bench,
     "pytest": _execute_pytest,

@@ -13,7 +13,8 @@ Tiers (see docs/CI.md for the full contract):
 ========  ==================================================================
 lint      ruff (or the built-in fallback) over src/tests/benchmarks/examples
 smoke     quick chaos cells + a bounded exploration + a fast pytest group
-chaos     the full chaos campaign, one unit per (topology, scenario, cell)
+chaos     the full chaos campaign, one unit per (topology, scenario, cell),
+          plus one core-migration experiment cell per topology
 explore   every explorer scenario at full depth, one unit per scenario
 tier1     the whole pytest suite in round-robin file groups + coverage floors
 bench     the perf-regression suite, one unit per benchmark module
@@ -120,6 +121,23 @@ def _chaos_quick_units(seed: int) -> List[WorkUnit]:
     ]
 
 
+def _migration_units(seed: int, reps: int = 1) -> List[WorkUnit]:
+    from repro.harness.campaign import TOPOLOGIES
+
+    return [
+        WorkUnit.make(
+            "migration",
+            f"migration/{topology}/{rep}",
+            {
+                "topology": topology,
+                "seed": derive_seed(seed, "migration-cell", topology, rep),
+            },
+        )
+        for topology in sorted(TOPOLOGIES)
+        for rep in range(reps)
+    ]
+
+
 def _explore_units(depth: int, drop_budget: int = 1) -> List[WorkUnit]:
     from repro.explore.scenarios import SCENARIOS
 
@@ -190,7 +208,9 @@ def build_tier(
             + _pytest_units("smoke", [list(SMOKE_PYTEST_FILES)])
         )
     elif tier == "chaos":
-        units = _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+        units = _chaos_units(
+            seed, {"figure1": 3, "grid9": 2, "waxman16": 2}
+        ) + _migration_units(seed)
     elif tier == "explore":
         units = _explore_units(depth=4)
     elif tier == "tier1":
@@ -201,6 +221,7 @@ def build_tier(
         units = (
             [_lint_unit()]
             + _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+            + _migration_units(seed)
             + _explore_units(depth=4)
             + _pytest_units("tier1", pytest_groups())
             + [_coverage_unit()]
@@ -210,6 +231,7 @@ def build_tier(
         units = (
             [_lint_unit()]
             + _chaos_units(seed, {"figure1": 5, "grid9": 3, "waxman16": 3})
+            + _migration_units(seed, reps=2)
             + _explore_units(depth=5)
             + _pytest_units("tier1", pytest_groups())
             + [_coverage_unit()]

@@ -269,7 +269,15 @@ class TestTiers:
 
     def test_full_tier_contains_all_unit_kinds(self):
         kinds = {u.kind for u in build_tier("full")}
-        assert kinds == {"lint", "chaos", "explore", "pytest", "coverage", "bench"}
+        assert kinds == {
+            "lint",
+            "chaos",
+            "migration",
+            "explore",
+            "pytest",
+            "coverage",
+            "bench",
+        }
 
 
 class TestGatesAndReport:

@@ -4,9 +4,12 @@ import random
 
 import pytest
 
+from hypothesis import given, settings, strategies as st
+
 from repro.baselines.trees import shared_tree
 from repro.core.placement import (
     best_of_candidates,
+    locality_cores,
     max_degree_core,
     member_centroid_core,
     random_core,
@@ -93,6 +96,114 @@ class TestStrategies:
         assert len(set(cores)) == 3
         totals = [g.total_distance(c, members, weight="delay") for c in cores]
         assert totals == sorted(totals)
+
+    def test_rank_cores_count_exceeding_nodes(self):
+        g = line_graph(5)
+        cores = rank_cores(g, ["N0", "N4"], count=50)
+        assert sorted(cores) == sorted(g.nodes)
+        assert len(set(cores)) == len(cores)
+
+    def test_best_of_candidates_evaluates_distinct_candidates(self):
+        # Regression: choice-with-replacement silently shrank the pool;
+        # k=3 must score 3 *distinct* routers.
+        g = waxman_graph(20, seed=7)
+        members = members_of(g, 4, seed=7)
+        for seed in range(10):
+            scored = []
+
+            def spy(graph, node, m):
+                scored.append(node)
+                return graph.total_distance(node, m, weight="delay")
+
+            best_of_candidates(g, members, random.Random(seed), k=3, score=spy)
+            assert len(set(scored)) == 3
+
+    def test_best_of_candidates_k_beyond_pool_scores_everyone(self):
+        g = line_graph(4)
+        scored = []
+
+        def spy(graph, node, m):
+            scored.append(node)
+            return graph.total_distance(node, m, weight="delay")
+
+        best_of_candidates(g, ["N0"], random.Random(0), k=99, score=spy)
+        assert sorted(set(scored)) == sorted(g.nodes)
+
+    def test_member_centroid_tie_break_deterministic(self):
+        # N1 and N2 tie on total delay to {N1, N2}; the lexicographic
+        # tie-break must pick N1 no matter what rng rides along.
+        g = line_graph(4)
+        results = {
+            member_centroid_core(g, ["N1", "N2"], random.Random(seed))
+            for seed in range(8)
+        }
+        assert results == {"N1"}
+
+
+class TestLocalityCores:
+    def test_primary_is_global_centroid_for_single_cluster(self):
+        g = waxman_graph(25, seed=9)
+        members = members_of(g, 5, seed=9)
+        assert locality_cores(g, members, count=1) == [
+            member_centroid_core(g, members)
+        ]
+
+    def test_distinct_cores_ranked_by_total_distance(self):
+        g = waxman_graph(30, seed=11)
+        members = members_of(g, 8, seed=11)
+        cores = locality_cores(g, members, count=3)
+        assert len(cores) == len(set(cores)) == 3
+        assert all(c in g.nodes for c in cores)
+        totals = [g.total_distance(c, members, weight="delay") for c in cores]
+        assert totals[0] == min(totals)
+
+    def test_pads_when_clustering_collapses(self):
+        # One member can seed only one cluster; padding must still
+        # deliver distinct cores up to count.
+        g = line_graph(6)
+        cores = locality_cores(g, ["N2"], count=3)
+        assert len(cores) == len(set(cores)) == 3
+
+    def test_deterministic(self):
+        g = waxman_graph(30, seed=13)
+        members = members_of(g, 7, seed=13)
+        assert locality_cores(g, members, count=3) == locality_cores(
+            g, members, count=3
+        )
+
+    def test_rejects_bad_inputs(self):
+        g = line_graph(4)
+        with pytest.raises(ValueError):
+            locality_cores(g, ["N0"], count=0)
+        with pytest.raises(ValueError):
+            locality_cores(g, [], count=2)
+        with pytest.raises(KeyError):
+            locality_cores(g, ["N9"], count=2)
+
+
+class TestStrategyProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        size=st.integers(min_value=4, max_value=24),
+        member_count=st.integers(min_value=1, max_value=6),
+        rng_seed=st.integers(min_value=0, max_value=10),
+    )
+    def test_every_strategy_returns_a_node_of_the_graph(
+        self, seed, size, member_count, rng_seed
+    ):
+        g = waxman_graph(size, seed=seed)
+        members = members_of(g, min(member_count, size), seed=seed)
+        rng = random.Random(rng_seed)
+        assert random_core(g, rng) in g.nodes
+        assert max_degree_core(g) in g.nodes
+        assert topology_center_core(g) in g.nodes
+        assert member_centroid_core(g, members) in g.nodes
+        assert best_of_candidates(g, members, rng, k=3) in g.nodes
+        for core in rank_cores(g, members, count=2):
+            assert core in g.nodes
+        for core in locality_cores(g, members, count=2):
+            assert core in g.nodes
 
 
 class TestPlacementQuality:
