@@ -456,6 +456,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
             )
             return 2
 
+    if args.backward:
+        return _explore_backward(args, names)
+    if args.shards:
+        return _explore_sharded(args, names)
+
     depth = args.depth if args.depth is not None else (5 if args.smoke else 3)
     failed = False
     for name in names:
@@ -504,6 +509,139 @@ def cmd_explore(args: argparse.Namespace) -> int:
         )
         for kind in ("schedule", "narrative", "test"):
             print(f"  exported {kind}: {paths[kind]}")
+    return 1 if failed else 0
+
+
+def _explore_backward(args: argparse.Namespace, names) -> int:
+    """``repro explore --backward``: fault-directed search from goal
+    predicates, every report confirmed by forward replay."""
+    import time
+
+    from repro.explore.backward import backward_search
+    from repro.explore.export import export_counterexample, narrative_text
+    from repro.explore.predicates import get_predicate
+    from repro.explore.scenarios import SCENARIOS, scenario_options
+    from repro.explore.shrink import shrink
+
+    try:
+        predicates = (
+            [get_predicate(name) for name in args.predicate]
+            if args.predicate
+            else None
+        )
+    except KeyError as exc:
+        print(str(exc.args[0]), file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in names:
+        scenario = SCENARIOS[name]
+        started = time.monotonic()
+        result = backward_search(
+            scenario,
+            predicates,
+            max_deviations=args.max_deviations,
+            budget=args.budget,
+            seed=args.seed,
+        )
+        elapsed = time.monotonic() - started
+        stats = result.stats
+        status = "ok" if result.ok else "VIOLATION"
+        print(
+            f"{name:12s} {status:9s} "
+            f"predicates={stats.predicates_tried} "
+            f"candidates={stats.candidates_tried} "
+            f"confirmed={stats.candidates_confirmed} "
+            f"rejected={stats.candidates_rejected} "
+            f"max-depth={stats.max_depth_reached} "
+            f"exhausted={'yes' if result.exhausted else 'no'} "
+            f"({elapsed:.1f}s)"
+        )
+        for counterexample in result.counterexamples:
+            failed = True
+            options = scenario_options(scenario, max_decisions=0)
+            shrunk = shrink(scenario, counterexample.schedule, options)
+            if shrunk is not None:
+                print(
+                    f"  shrunk {list(counterexample.schedule)} -> "
+                    f"{list(shrunk.schedule)} "
+                    f"({shrunk.runs_used} replays)"
+                )
+            print(narrative_text(counterexample, shrunk), end="")
+            paths = export_counterexample(
+                args.export_dir,
+                counterexample,
+                options,
+                shrunk=shrunk,
+                note=(
+                    f"repro explore --backward --scenario {name} "
+                    f"--predicate {counterexample.predicate} "
+                    f"--seed {args.seed}"
+                ),
+            )
+            for kind in ("schedule", "narrative", "test"):
+                print(f"  exported {kind}: {paths[kind]}")
+    return 1 if failed else 0
+
+
+def _explore_sharded(args: argparse.Namespace, names) -> int:
+    """``repro explore --shards N``: partitioned forward frontier via
+    the CI fan-out engine, merged deterministically."""
+    import time
+
+    from repro.explore.engine import merge_frontier_payloads
+    from repro.harness.parallel import WorkUnit, run_units
+    from repro.netsim.faults import derive_seed
+
+    depth = args.depth if args.depth is not None else (5 if args.smoke else 3)
+    failed = False
+    for name in names:
+        units = [
+            WorkUnit.make(
+                "explore-frontier",
+                f"explore-frontier/{name}/d{depth}/s{i}of{args.shards}",
+                {
+                    "scenario": name,
+                    "depth": depth,
+                    "shard_index": i,
+                    "shard_count": args.shards,
+                    "max_alternatives": args.max_alternatives,
+                    "drop_budget": args.drop_budget,
+                    "seed": derive_seed(
+                        args.seed, "explore-frontier", name, depth, i
+                    ),
+                },
+            )
+            for i in range(args.shards)
+        ]
+        started = time.monotonic()
+        results = run_units(units, workers=args.workers)
+        elapsed = time.monotonic() - started
+        errors = [r for r in results if r.status in ("error", "crashed", "timeout")]
+        if errors:
+            for r in errors:
+                print(f"  {r.unit_id}: {r.status}", file=sys.stderr)
+                for line in r.detail[:5]:
+                    print(f"    {line}", file=sys.stderr)
+            return 2
+        merged = merge_frontier_payloads([r.extra for r in results])
+        status = "ok" if not merged["counterexamples"] else "VIOLATION"
+        print(
+            f"{name:12s} {status:9s} shards={args.shards} "
+            f"visited={merged['states_visited']} "
+            f"depth<={depth} "
+            f"exhausted={'yes' if merged['exhausted'] else 'no'} "
+            f"digest={merged['visited_digest']} ({elapsed:.1f}s)"
+        )
+        for schedule in merged["counterexamples"]:
+            failed = True
+            print(f"  counterexample schedule: {schedule}")
+        if args.verbose:
+            for r in results:
+                print(
+                    f"  {r.unit_id}: {r.status} "
+                    f"runs={r.metrics.get('ci.explore.frontier.runs', 0):g}"
+                )
     return 1 if failed else 0
 
 
@@ -779,6 +917,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explore.add_argument(
         "--verbose", action="store_true", help="live run counter while searching"
+    )
+    explore.add_argument(
+        "--backward",
+        action="store_true",
+        help=(
+            "fault-directed backward search from goal predicates "
+            "(every report confirmed by forward replay)"
+        ),
+    )
+    explore.add_argument(
+        "--predicate",
+        action="append",
+        metavar="NAME",
+        help=(
+            "goal predicate for --backward (repeatable; default: all; "
+            "see docs/TESTING.md for the catalogue)"
+        ),
+    )
+    explore.add_argument(
+        "--budget",
+        type=int,
+        default=600,
+        help="max confirmation replays for --backward (default: 600)",
+    )
+    explore.add_argument(
+        "--max-deviations",
+        type=int,
+        default=3,
+        help="pre-state chain length bound for --backward (default: 3)",
+    )
+    explore.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "partition the forward frontier into N deterministic "
+            "shards and fan them out (merged report is byte-identical "
+            "for any --workers count)"
+        ),
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --shards (0 = inline; default: 1)",
+    )
+    explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for --backward ordering / --shards sub-seeds",
     )
     explore.set_defaults(func=cmd_explore)
 

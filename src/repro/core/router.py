@@ -1221,9 +1221,48 @@ class CBTProtocol:
             self.rejoins.pop(group, None)
             self._cancel_rejoin_timer(group)
             self._record("rejoined", group)
+        self._nack_stale_cached(pend)
         self._replay_cached(pend)
         # Prime the keepalive: send the first echo right away (§6).
         self._send_echo_for(entry)
+
+    def _nack_stale_cached(self, pend: PendingJoin) -> None:
+        """NACK cached joins from the neighbour that just became our
+        parent.  By ACKing our join it proved it holds its own upstream
+        path, so a join cached from it belongs to an earlier epoch
+        (e.g. a transient rejoin-through-us during a handover it has
+        since recovered from).  Replaying such a join would trip the
+        §6.3 parent-rejoined repair against a healthy parent — sever,
+        rejoin, re-cache the same stale join — livelocking the pair one
+        RTT apart.  A NACK lets a genuinely still-rejoining neighbour
+        retransmit against our settled on-tree state instead."""
+        stale = [
+            cached
+            for cached in pend.cached
+            if cached.downstream_address == pend.upstream_address
+        ]
+        if not stale:
+            return
+        pend.cached = [
+            cached
+            for cached in pend.cached
+            if cached.downstream_address != pend.upstream_address
+        ]
+        for cached in stale:
+            self._send_control(
+                CBTControlMessage(
+                    msg_type=MessageType.JOIN_NACK,
+                    code=0,
+                    group=pend.group,
+                    origin=cached.origin,
+                    target_core=pend.target_core,
+                    cores=pend.cores,
+                ),
+                cached.downstream_address,
+            )
+        self._record(
+            "stale_cached_join", pend.group, detail=str(pend.upstream_address)
+        )
 
     def _replay_cached(self, pend: PendingJoin) -> None:
         for cached in pend.cached:

@@ -7,16 +7,27 @@ exploration options, and the choice indices.  Because the simulator
 is deterministic and scenarios rebuild their world from scratch, a
 loaded schedule replays the identical run on any machine.
 
-Format (``repro-explore-schedule/1``)::
+Format (``repro-explore-schedule/2``)::
 
     {
-      "format": "repro-explore-schedule/1",
+      "format": "repro-explore-schedule/2",
       "scenario": "quit-race",
       "options": { ... ExploreOptions fields ... },
       "schedule": [0, 2, 1],
       "expect": "clean" | "violation",
-      "note": "free-form provenance"
+      "note": "free-form provenance",
+      "source": "forward" | "backward" | "frontier",
+      "seed": 7 | null,
+      "predicate": "member-stranded" | ""
     }
+
+Version 2 adds the provenance trio (``source``, ``seed``,
+``predicate``) so a schedule exported by one shard of a parallel run
+— or by the backward search — names which engine produced it, under
+which pinned sub-seed, chasing which goal predicate.  Version-1
+documents (no provenance keys) still load: :func:`load_schedule`
+upgrades them in memory with the defaults ``source="forward"``,
+``seed=None``, ``predicate=""``.
 
 ``expect`` is what the *pinned* behaviour is: regression schedules
 exported after a fix carry ``"clean"`` (replaying them must produce
@@ -32,7 +43,17 @@ from typing import Dict, Optional, Tuple
 from repro.explore.engine import ExploreOptions, RunOutcome, run_schedule
 from repro.explore.scenarios import get_scenario
 
-FORMAT = "repro-explore-schedule/1"
+FORMAT_V1 = "repro-explore-schedule/1"
+FORMAT = "repro-explore-schedule/2"
+
+#: Provenance fields added by format v2 and their v1-reader defaults.
+_V2_DEFAULTS: Dict[str, object] = {
+    "source": "forward",
+    "seed": None,
+    "predicate": "",
+}
+
+_SOURCES = ("forward", "backward", "frontier")
 
 
 class ScheduleFormatError(ValueError):
@@ -45,10 +66,15 @@ def schedule_payload(
     schedule: Tuple[int, ...],
     expect: str = "violation",
     note: str = "",
+    source: str = "forward",
+    seed: Optional[int] = None,
+    predicate: str = "",
 ) -> Dict[str, object]:
-    """Build the JSON-serialisable schedule document."""
+    """Build the JSON-serialisable schedule document (format v2)."""
     if expect not in ("clean", "violation"):
         raise ValueError(f"expect must be 'clean' or 'violation', got {expect!r}")
+    if source not in _SOURCES:
+        raise ValueError(f"source must be one of {_SOURCES}, got {source!r}")
     return {
         "format": FORMAT,
         "scenario": scenario_name,
@@ -56,6 +82,9 @@ def schedule_payload(
         "schedule": list(schedule),
         "expect": expect,
         "note": note,
+        "source": source,
+        "seed": seed,
+        "predicate": predicate,
     }
 
 
@@ -71,9 +100,10 @@ def load_schedule(text: str) -> Dict[str, object]:
         raise ScheduleFormatError(f"not valid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise ScheduleFormatError("schedule document must be a JSON object")
-    if payload.get("format") != FORMAT:
+    version = payload.get("format")
+    if version not in (FORMAT, FORMAT_V1):
         raise ScheduleFormatError(
-            f"unknown format {payload.get('format')!r}; expected {FORMAT!r}"
+            f"unknown format {version!r}; expected {FORMAT!r} (or {FORMAT_V1!r})"
         )
     for key in ("scenario", "options", "schedule"):
         if key not in payload:
@@ -83,6 +113,19 @@ def load_schedule(text: str) -> Dict[str, object]:
         isinstance(value, int) and value >= 0 for value in schedule
     ):
         raise ScheduleFormatError("schedule must be a list of non-negative ints")
+    if version == FORMAT_V1:
+        # v1 reader: upgrade in memory; on-disk document stays v1.
+        for key, default in _V2_DEFAULTS.items():
+            payload.setdefault(key, default)
+    else:
+        source = payload.get("source", "forward")
+        if source not in _SOURCES:
+            raise ScheduleFormatError(
+                f"source must be one of {_SOURCES}, got {source!r}"
+            )
+        seed = payload.get("seed")
+        if seed is not None and not isinstance(seed, int):
+            raise ScheduleFormatError("seed must be an int or null")
     return payload
 
 

@@ -62,6 +62,8 @@ REPO_ROOT = os.path.dirname(
 DEFAULT_TIMEOUTS: Dict[str, float] = {
     "chaos": 120.0,
     "explore": 600.0,
+    "explore-frontier": 900.0,
+    "explore-deep": 900.0,
     "migration": 300.0,
     "bench": 1800.0,
     "pytest": 1800.0,
@@ -279,6 +281,152 @@ def _execute_explore(params: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def _execute_explore_frontier(params: Dict[str, object]) -> Dict[str, object]:
+    """One deterministic shard of a partitioned forward frontier.
+
+    Unit identity (scenario, depth, ``shard_index``/``shard_count``,
+    pinned sub-seed) is fixed at tier-build time; the shard's visited
+    map and counterexample list ride back in ``extra`` so the driver
+    can fold every shard through
+    :func:`repro.explore.engine.merge_frontier_shards` into a report
+    that is byte-identical for any worker count.
+    """
+    from repro.explore.engine import explore_frontier_shard
+    from repro.explore.scenarios import get_scenario, scenario_options
+
+    scenario = get_scenario(str(params["scenario"]))
+    options = scenario_options(
+        scenario,
+        max_decisions=int(params["depth"]),
+        max_alternatives=int(params.get("max_alternatives", 4)),
+        drop_budget=int(params.get("drop_budget", 1)),
+        deepening=False,
+    )
+    seed = params.get("seed")
+    shard = explore_frontier_shard(
+        scenario,
+        options,
+        shard_index=int(params["shard_index"]),
+        shard_count=int(params["shard_count"]),
+        seed=int(seed) if seed is not None else None,
+    )
+    detail: List[str] = []
+    status = "ok"
+    for counterexample in shard.counterexamples:
+        status = "failed"
+        detail.append("counterexample: " + counterexample.summary())
+    if not shard.exhausted:
+        status = "failed"
+        detail.append("shard did not exhaust its bounded subtree slice")
+    schedules = tuple(
+        tuple(c.schedule) for c in shard.counterexamples
+    )
+    stats = shard.stats
+    return {
+        "status": status,
+        "fingerprint": stable_digest(
+            "explore-frontier",
+            scenario.name,
+            params["depth"],
+            f"{shard.shard_index}/{shard.shard_count}",
+            shard.visited_digest,
+            stats.runs,
+            schedules,
+            status,
+        ),
+        "detail": detail,
+        "metrics": {
+            "ci.explore.frontier.shards": 1,
+            "ci.explore.frontier.runs": stats.runs,
+            "ci.explore.frontier.states_visited": stats.states_visited,
+            "ci.explore.frontier.counterexamples": len(shard.counterexamples),
+        },
+        "extra": {
+            "scenario": scenario.name,
+            "shard_index": shard.shard_index,
+            "shard_count": shard.shard_count,
+            "visited": dict(shard.visited),
+            "visited_digest": shard.visited_digest,
+            "counterexamples": [list(s) for s in schedules],
+            "exhausted": shard.exhausted,
+        },
+    }
+
+
+def _execute_explore_deep(params: Dict[str, object]) -> Dict[str, object]:
+    """A budgeted backward search from one goal predicate.
+
+    ``ok`` means the guided search exhausted (or spent) its candidate
+    budget without confirming the predicate by forward replay; a
+    confirmed counterexample is a real, replayable protocol violation
+    and fails the unit.  Backward stats surface as
+    ``ci.explore.backward.*`` metrics in the merged report.
+    """
+    from repro.explore.backward import backward_search
+    from repro.explore.predicates import get_predicate
+    from repro.explore.scenarios import get_scenario
+
+    scenario = get_scenario(str(params["scenario"]))
+    names = params.get("predicates")
+    predicates = (
+        [get_predicate(str(name)) for name in names] if names else None
+    )
+    result = backward_search(
+        scenario,
+        predicates,
+        max_deviations=int(params.get("max_deviations", 3)),
+        budget=int(params.get("budget", 250)),
+        limit=int(params.get("limit", 64)),
+        seed=int(params.get("seed", 0)),
+    )
+    detail: List[str] = []
+    status = "ok"
+    for counterexample in result.counterexamples:
+        status = "failed"
+        detail.append("counterexample: " + counterexample.summary())
+    stats = result.stats
+    schedules = tuple(
+        (c.predicate, tuple(c.schedule)) for c in result.counterexamples
+    )
+    return {
+        "status": status,
+        "fingerprint": stable_digest(
+            "explore-deep",
+            scenario.name,
+            params.get("predicates") or "all",
+            result.seed,
+            stats.candidates_tried,
+            stats.candidates_confirmed,
+            stats.candidates_rejected,
+            stats.max_depth_reached,
+            schedules,
+            status,
+        ),
+        "detail": detail,
+        "metrics": {
+            "ci.explore.backward.cells": 1,
+            "ci.explore.backward.predicates_tried": stats.predicates_tried,
+            "ci.explore.backward.candidates_tried": stats.candidates_tried,
+            "ci.explore.backward.candidates_confirmed": (
+                stats.candidates_confirmed
+            ),
+            "ci.explore.backward.candidates_rejected": (
+                stats.candidates_rejected
+            ),
+            "ci.explore.backward.max_depth": stats.max_depth_reached,
+            "ci.explore.backward.runs": stats.runs,
+        },
+        "extra": {
+            "scenario": scenario.name,
+            "stats": stats.to_dict(),
+            "counterexamples": [
+                {"predicate": p, "schedule": list(s)} for p, s in schedules
+            ],
+            "exhausted": result.exhausted,
+        },
+    }
+
+
 def _execute_bench(params: Dict[str, object]) -> Dict[str, object]:
     if REPO_ROOT not in sys.path:
         sys.path.insert(0, REPO_ROOT)
@@ -366,6 +514,7 @@ def _execute_lint(params: Dict[str, object]) -> Dict[str, object]:
 #: docs/TESTING.md and gated by the tier1 CI job.
 COVERAGE_FLOORS: Dict[str, float] = {
     "src/repro/core": 85.0,
+    "src/repro/explore": 80.0,
     "src/repro/telemetry": 85.0,
 }
 
@@ -492,6 +641,8 @@ EXECUTORS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
     "chaos": _execute_chaos,
     "migration": _execute_migration,
     "explore": _execute_explore,
+    "explore-frontier": _execute_explore_frontier,
+    "explore-deep": _execute_explore_deep,
     "bench": _execute_bench,
     "pytest": _execute_pytest,
     "lint": _execute_lint,

@@ -19,7 +19,12 @@ explore   every explorer scenario at full depth, one unit per scenario
 tier1     the whole pytest suite in round-robin file groups + coverage floors
 bench     the perf-regression suite, one unit per benchmark module
 full      chaos + explore + tier1 + bench (quick) + lint
-nightly   full with deeper exploration, more chaos cells, full-size benches
+nightly   full with deeper exploration, more chaos cells, full-size
+          benches, the sharded forward frontier (``explore-frontier``
+          cells, one per (scenario, shard)), and the budgeted backward
+          search (``explore-deep`` cells, one per (scenario,
+          predicate) with pinned sub-seeds; stats surface as
+          ``ci.explore.backward.*`` in the merged metrics)
 ========  ==================================================================
 
 The ``repro-ci-report/1`` JSON document captures the tier, the unit
@@ -151,6 +156,68 @@ def _explore_units(depth: int, drop_budget: int = 1) -> List[WorkUnit]:
     ]
 
 
+#: Scenarios carrying the nightly deep-search cells: the two whose
+#: interesting interleavings sit past the forward depth bound (the
+#: migration handover and the quit/join races).
+DEEP_SCENARIOS = ("joins-race", "migration-race", "quit-race")
+
+#: Shard count for the partitioned forward frontier.  Fixed at build
+#: time (not a function of ``--workers``) so unit identity and the
+#: merged fingerprint are independent of the worker count.
+FRONTIER_SHARDS = 4
+
+
+def _frontier_units(
+    seed: int,
+    depth: int,
+    scenarios: Sequence[str] = ("joins-race", "migration-race"),
+    shard_count: int = FRONTIER_SHARDS,
+) -> List[WorkUnit]:
+    """One unit per (scenario, frontier shard), pinned sub-seeds."""
+    return [
+        WorkUnit.make(
+            "explore-frontier",
+            f"explore-frontier/{name}/d{depth}/s{index}of{shard_count}",
+            {
+                "scenario": name,
+                "depth": depth,
+                "shard_index": index,
+                "shard_count": shard_count,
+                "seed": derive_seed(
+                    seed, "explore-frontier", name, depth, index
+                ),
+            },
+        )
+        for name in sorted(scenarios)
+        for index in range(shard_count)
+    ]
+
+
+def _explore_deep_units(
+    seed: int,
+    budget: int = 250,
+    scenarios: Sequence[str] = DEEP_SCENARIOS,
+) -> List[WorkUnit]:
+    """One budgeted backward-search unit per (scenario, predicate)."""
+    from repro.explore.predicates import PREDICATES
+
+    return [
+        WorkUnit.make(
+            "explore-deep",
+            f"explore-deep/{name}/{predicate}",
+            {
+                "scenario": name,
+                "predicates": [predicate],
+                "budget": budget,
+                "max_deviations": 3,
+                "seed": derive_seed(seed, "explore-deep", name, predicate),
+            },
+        )
+        for name in sorted(scenarios)
+        for predicate in sorted(PREDICATES)
+    ]
+
+
 def _bench_units(quick: bool, bench_dir: Optional[str]) -> List[WorkUnit]:
     if REPO_ROOT not in sys.path:
         sys.path.insert(0, REPO_ROOT)
@@ -233,6 +300,8 @@ def build_tier(
             + _chaos_units(seed, {"figure1": 5, "grid9": 3, "waxman16": 3})
             + _migration_units(seed, reps=2)
             + _explore_units(depth=5)
+            + _frontier_units(seed, depth=5)
+            + _explore_deep_units(seed)
             + _pytest_units("tier1", pytest_groups())
             + [_coverage_unit()]
             + _bench_units(quick=False, bench_dir=bench_dir)

@@ -1,0 +1,460 @@
+"""Tests for the fault-directed backward search (repro.explore.backward).
+
+Covers the inverse-rule catalogue, plan derivation, the guided
+confirmation search (stats accounting, determinism, confirm-by-replay
+provenance), the frontier sharding fold, and the ISSUE-8 acceptance
+demonstration: with a known bug temporarily re-introduced, the
+backward search confirms a violation at a schedule depth strictly
+beyond what the forward ``--depth`` default can reach, on a budget
+the forward DFS would burn below depth 6.
+
+The re-introduced bug is bug 11 (the stale-cached-join livelock found
+*by* this machinery and fixed in ``CBTProtocol._nack_stale_cached``):
+disabling the fix restores the historical faulty behaviour without
+touching any other code path.
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+from unittest import mock
+
+import pytest
+
+from repro.cli import main
+from repro.core.router import CBTProtocol
+from repro.explore.backward import (
+    INVERSE_RULES,
+    backward_search,
+    derive_plan,
+    rules_for,
+)
+from repro.explore.engine import (
+    explore_frontier_shard,
+    merge_frontier_payloads,
+    merge_frontier_shards,
+    run_schedule,
+)
+from repro.explore.predicates import PREDICATES, classify, get_predicate
+from repro.explore.scenarios import get_scenario, scenario_options
+
+#: The forward CLI depth default ("repro explore" without --depth).
+FORWARD_DEPTH_DEFAULT = 3
+#: The deeper bound the nightly forward tier uses.
+NIGHTLY_FORWARD_DEPTH = 5
+
+
+def _disable_bug11_fix():
+    """Re-introduce bug 11: skip the stale-cached-join NACK."""
+    return mock.patch.object(
+        CBTProtocol, "_nack_stale_cached", lambda self, pend: None
+    )
+
+
+# -- predicate catalogue ----------------------------------------------------
+
+
+def test_predicate_catalogue_is_complete():
+    assert set(PREDICATES) == {
+        "forwarding-loop",
+        "member-stranded",
+        "non-core-root",
+        "conservation-broken",
+    }
+    for predicate in PREDICATES.values():
+        assert predicate.markers, predicate.name
+        assert predicate.triggers, predicate.name
+        assert predicate.description
+
+
+def test_predicate_markers_are_pairwise_disjoint():
+    """A finding must belong to exactly one predicate (classify is a
+    partition), so no marker may be a substring of another predicate's
+    marker."""
+    for a in PREDICATES.values():
+        for b in PREDICATES.values():
+            if a.name == b.name:
+                continue
+            for marker_a in a.markers:
+                for marker_b in b.markers:
+                    assert marker_a not in marker_b and marker_b not in marker_a, (
+                        f"{a.name}:{marker_a!r} overlaps {b.name}:{marker_b!r}"
+                    )
+
+
+def test_get_predicate_rejects_unknown():
+    with pytest.raises(KeyError, match="unknown predicate"):
+        get_predicate("no-such-goal")
+
+
+def test_classify_partitions_known_findings():
+    buckets = classify(
+        [
+            "router R1 group 239.0.0.1: parent pointers form a loop R1 -> R2",
+            "member LAN 10.0.0.0/24 has no attached on-tree router",
+            "parent chain ends at non-core R3",
+            "link L_R1_R2: negative in-flight (-1)",
+        ]
+    )
+    assert sorted(buckets) == [
+        "conservation-broken",
+        "forwarding-loop",
+        "member-stranded",
+        "non-core-root",
+    ]
+    assert "unclassified" not in buckets and "ambiguous" not in buckets
+
+
+def test_predicate_holds_runs_the_oracle(  ):
+    """`holds` on a converged healthy world reports nothing."""
+    scenario = get_scenario("joins-race")
+    options = scenario_options(scenario, max_decisions=0)
+    outcome = run_schedule(scenario, (), options, limit=0)
+    assert outcome.violation is None
+
+
+# -- inverse rules and plans ------------------------------------------------
+
+
+def test_every_rule_names_a_known_predicate_and_transition():
+    for rule in INVERSE_RULES:
+        assert rule.predicate in PREDICATES, rule.predicate
+        assert rule.deviations, rule.transition
+        assert rule.precondition
+        # Each rule's deviations stay within its predicate's triggers
+        # (the plan intersection would silently drop them otherwise).
+        triggers = set(PREDICATES[rule.predicate].triggers)
+        assert set(rule.deviations) <= triggers, rule.transition
+
+
+def test_every_predicate_has_at_least_one_inverse_rule():
+    for predicate in PREDICATES.values():
+        assert rules_for(predicate), predicate.name
+
+
+def test_derive_plan_intersects_triggers():
+    scenario = get_scenario("migration-race")
+    plan = derive_plan(scenario, get_predicate("member-stranded"))
+    assert plan.scenario == "migration-race"
+    assert plan.predicate == "member-stranded"
+    assert set(plan.triggers) <= set(
+        get_predicate("member-stranded").triggers
+    )
+    assert "JOIN_REQUEST" in plan.triggers
+
+
+# -- the guided confirmation search -----------------------------------------
+
+
+def test_backward_search_clean_scenario_confirms_nothing():
+    """On the fixed protocol a bounded budget rejects every chain."""
+    result = backward_search(
+        get_scenario("joins-race"), max_deviations=2, budget=40, seed=3
+    )
+    assert result.ok
+    assert not result.counterexamples
+    stats = result.stats
+    assert stats.predicates_tried == len(PREDICATES)
+    assert stats.candidates_confirmed == 0
+    assert stats.runs <= 40
+    assert stats.candidates_tried == stats.runs
+
+
+def test_backward_search_is_deterministic_per_seed():
+    kwargs = dict(max_deviations=2, budget=30, seed=11)
+    first = backward_search(get_scenario("joins-race"), **kwargs)
+    second = backward_search(get_scenario("joins-race"), **kwargs)
+    assert first.stats.to_dict() == second.stats.to_dict()
+    assert [c.schedule for c in first.counterexamples] == [
+        c.schedule for c in second.counterexamples
+    ]
+
+
+def test_backward_search_reaches_past_forward_depth():
+    """The guided search's *candidates* routinely sit beyond the
+    forward depth bound even when they are rejected."""
+    result = backward_search(
+        get_scenario("migration-race"),
+        [get_predicate("member-stranded")],
+        max_deviations=2,
+        budget=30,
+        seed=0,
+    )
+    assert result.stats.max_depth_reached > NIGHTLY_FORWARD_DEPTH
+
+
+# -- the ISSUE-8 acceptance demonstration -----------------------------------
+
+
+class TestAcceptanceDemo:
+    """Re-introduce bug 11 and confirm it by replay, deep past the
+    forward frontier, within a fraction of the nightly budget."""
+
+    def test_confirms_reintroduced_bug_beyond_forward_depth(self):
+        scenario = get_scenario("migration-race")
+        with _disable_bug11_fix():
+            result = backward_search(
+                scenario,
+                [get_predicate("member-stranded")],
+                max_deviations=3,
+                budget=250,
+                seed=0,
+                stop_on_first=True,
+            )
+        assert not result.ok
+        counterexample = result.counterexamples[0]
+        # Strictly deeper than any schedule the forward default (or
+        # even the nightly forward tier) can deviate at.
+        assert len(counterexample.schedule) > FORWARD_DEPTH_DEFAULT
+        assert len(counterexample.schedule) > NIGHTLY_FORWARD_DEPTH
+        # Confirm-by-replay provenance: the stored outcome violated
+        # on the targeted predicate.
+        predicate = get_predicate("member-stranded")
+        assert counterexample.outcome.violation is not None
+        assert predicate.matches(counterexample.outcome.violation.findings)
+        assert counterexample.source == "backward"
+        assert counterexample.predicate == "member-stranded"
+        assert counterexample.seed == 0
+        # Cheap: the guided search needed only a handful of replays.
+        assert result.stats.runs < 250
+
+    def test_confirmed_schedule_replays_clean_after_fix(self):
+        """The same schedule on the *fixed* protocol converges — the
+        counterexample is the bug's, not the scenario's."""
+        scenario = get_scenario("migration-race")
+        with _disable_bug11_fix():
+            result = backward_search(
+                scenario,
+                [get_predicate("member-stranded")],
+                max_deviations=3,
+                budget=250,
+                seed=0,
+                stop_on_first=True,
+            )
+        schedule = result.counterexamples[0].schedule
+        options = scenario_options(
+            scenario, max_decisions=0, drop_budget=3
+        )
+        outcome = run_schedule(
+            scenario, schedule, options, limit=max(len(schedule), 1)
+        )
+        assert outcome.violation is None
+
+    def test_fix_fires_on_the_pinned_drop_chain(self):
+        """The stale-cached-join NACK is what keeps the pinned
+        schedule clean — it actually executes during the replay."""
+        scenario = get_scenario("migration-race")
+        options = scenario_options(
+            scenario, max_decisions=0, drop_budget=3
+        )
+        schedule = (0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1)
+        nacked = []
+        original = CBTProtocol._nack_stale_cached
+
+        def spying(self, pend):
+            before = len(pend.cached)
+            original(self, pend)
+            if len(pend.cached) < before:
+                nacked.append(pend.group)
+
+        with mock.patch.object(CBTProtocol, "_nack_stale_cached", spying):
+            outcome = run_schedule(
+                scenario, schedule, options, limit=len(schedule)
+            )
+        assert outcome.violation is None
+        assert nacked, "fix did not fire on the pinned drop chain"
+
+
+# -- counterexample provenance ----------------------------------------------
+
+
+def test_summary_carries_scenario_seed_and_predicate():
+    with _disable_bug11_fix():
+        result = backward_search(
+            get_scenario("migration-race"),
+            [get_predicate("member-stranded")],
+            max_deviations=3,
+            budget=250,
+            seed=0,
+            stop_on_first=True,
+        )
+    summary = result.counterexamples[0].summary()
+    assert "scenario=migration-race" in summary
+    assert "source=backward" in summary
+    assert "seed=0" in summary
+    assert "predicate=member-stranded" in summary
+
+
+def test_violation_describe_names_the_scenario():
+    with _disable_bug11_fix():
+        result = backward_search(
+            get_scenario("migration-race"),
+            [get_predicate("member-stranded")],
+            max_deviations=3,
+            budget=250,
+            seed=0,
+            stop_on_first=True,
+        )
+    violation = result.counterexamples[0].outcome.violation
+    assert "[migration-race]" in violation.describe()
+
+
+# -- frontier sharding ------------------------------------------------------
+
+
+def test_frontier_shards_partition_and_merge_deterministically():
+    scenario = get_scenario("joins-race")
+    options = scenario_options(
+        scenario, max_decisions=3, deepening=False
+    )
+    single = merge_frontier_shards(
+        [explore_frontier_shard(scenario, options, 0, 1)]
+    )
+    split = merge_frontier_shards(
+        [explore_frontier_shard(scenario, options, i, 4) for i in range(4)]
+    )
+    assert single.visited_digest == split.visited_digest
+    assert single.visited == split.visited
+    assert [c.schedule for c in single.counterexamples] == [
+        c.schedule for c in split.counterexamples
+    ]
+    assert single.exhausted and split.exhausted
+
+
+def test_frontier_shard_validates_bounds():
+    scenario = get_scenario("joins-race")
+    options = scenario_options(scenario, max_decisions=2)
+    with pytest.raises(ValueError):
+        explore_frontier_shard(scenario, options, 2, 2)
+    with pytest.raises(ValueError):
+        explore_frontier_shard(scenario, options, 0, 0)
+
+
+def test_merge_rejects_mixed_scenarios():
+    joins = get_scenario("joins-race")
+    quits = get_scenario("quit-race")
+    shard_a = explore_frontier_shard(
+        joins, scenario_options(joins, max_decisions=1), 0, 1
+    )
+    shard_b = explore_frontier_shard(
+        quits, scenario_options(quits, max_decisions=1), 0, 1
+    )
+    with pytest.raises(ValueError, match="different scenarios"):
+        merge_frontier_shards([shard_a, shard_b])
+    with pytest.raises(ValueError, match="no shards"):
+        merge_frontier_shards([])
+
+
+def test_merge_frontier_payloads_matches_object_merge():
+    scenario = get_scenario("joins-race")
+    options = scenario_options(
+        scenario, max_decisions=3, deepening=False
+    )
+    shards = [
+        explore_frontier_shard(scenario, options, i, 2) for i in range(2)
+    ]
+    merged = merge_frontier_shards(shards)
+    payloads = [
+        {
+            "scenario": shard.scenario,
+            "shard_index": shard.shard_index,
+            "shard_count": shard.shard_count,
+            "visited": dict(shard.visited),
+            "counterexamples": [list(c.schedule) for c in shard.counterexamples],
+            "exhausted": shard.exhausted,
+        }
+        for shard in shards
+    ]
+    folded = merge_frontier_payloads(payloads)
+    assert folded["visited_digest"] == merged.visited_digest
+    assert folded["states_visited"] == merged.stats.states_visited
+    assert folded["exhausted"] == merged.exhausted
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def test_cli_backward_clean(tmp_path):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(
+            [
+                "explore",
+                "--backward",
+                "--scenario",
+                "joins-race",
+                "--budget",
+                "25",
+                "--export-dir",
+                str(tmp_path),
+            ]
+        )
+    assert code == 0
+    assert "candidates=25" in out.getvalue()
+
+
+def test_cli_backward_rejects_unknown_predicate(tmp_path, capsys):
+    code = main(
+        [
+            "explore",
+            "--backward",
+            "--scenario",
+            "joins-race",
+            "--predicate",
+            "no-such-goal",
+            "--export-dir",
+            str(tmp_path),
+        ]
+    )
+    assert code == 2
+
+
+def test_cli_backward_exports_confirmed_counterexample(tmp_path):
+    out = io.StringIO()
+    with _disable_bug11_fix(), redirect_stdout(out):
+        code = main(
+            [
+                "explore",
+                "--backward",
+                "--scenario",
+                "migration-race",
+                "--predicate",
+                "member-stranded",
+                "--budget",
+                "250",
+                "--export-dir",
+                str(tmp_path),
+            ]
+        )
+    assert code == 1
+    text = out.getvalue()
+    assert "VIOLATION" in text
+    exported = sorted(p.name for p in tmp_path.iterdir())
+    assert "migration_race_member_stranded.schedule.json" in exported
+    narrative = (
+        tmp_path / "migration_race_member_stranded.narrative.txt"
+    ).read_text()
+    assert "scenario: migration-race" in narrative
+    assert "source: backward" in narrative
+    assert "predicate: member-stranded" in narrative
+
+
+def test_cli_sharded_explore_smoke():
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(
+            [
+                "explore",
+                "--shards",
+                "2",
+                "--workers",
+                "0",
+                "--scenario",
+                "joins-race",
+                "--depth",
+                "2",
+            ]
+        )
+    assert code == 0
+    assert "digest=" in out.getvalue()

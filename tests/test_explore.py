@@ -201,6 +201,35 @@ def test_payload_roundtrip():
     assert restored == options
 
 
+def test_v2_payload_carries_provenance():
+    options = ExploreOptions(max_decisions=3)
+    payload = schedule_payload(
+        "joins-race",
+        options,
+        (0, 1),
+        source="backward",
+        seed=7,
+        predicate="member-stranded",
+    )
+    loaded = load_schedule(dump_schedule(payload))
+    assert loaded["source"] == "backward"
+    assert loaded["seed"] == 7
+    assert loaded["predicate"] == "member-stranded"
+
+
+def test_v1_documents_still_load_with_default_provenance():
+    """The v1 reader: pre-ISSUE-8 golden schedules load unchanged and
+    gain in-memory provenance defaults."""
+    text = (
+        '{"format": "repro-explore-schedule/1", "scenario": "joins-race", '
+        '"options": {}, "schedule": [0, 1], "expect": "clean"}'
+    )
+    loaded = load_schedule(text)
+    assert loaded["source"] == "forward"
+    assert loaded["seed"] is None
+    assert loaded["predicate"] == ""
+
+
 @pytest.mark.parametrize(
     "text",
     [
@@ -211,6 +240,14 @@ def test_payload_roundtrip():
         (
             '{"format": "repro-explore-schedule/1", "scenario": "x", '
             '"options": {}, "schedule": [1, -2]}'
+        ),
+        (
+            '{"format": "repro-explore-schedule/2", "scenario": "x", '
+            '"options": {}, "schedule": [1], "source": "wormhole"}'
+        ),
+        (
+            '{"format": "repro-explore-schedule/2", "scenario": "x", '
+            '"options": {}, "schedule": [1], "seed": "not-an-int"}'
         ),
     ],
 )

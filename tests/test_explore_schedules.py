@@ -10,10 +10,19 @@ adversarial schedule through the replay format:
 * ``lan_proxy_drop_join`` — drop the first JOIN_REQUEST on the
   multi-router LAN S4; pins the proxy-ack machinery surviving a lost
   LAN join.
+* ``migration_race_stale_cached_join`` — drop the handover graft's
+  JOIN chain plus the late member's first join on migration-race.
+  Found by ``repro explore --backward`` (member-stranded predicate)
+  at depth 14, far past the forward frontier; pins the bug-11 fix (a
+  router must NACK, not replay, cached joins from the neighbour that
+  just became its parent — replaying them trips the §6.3
+  parent-rejoined repair against a healthy parent and livelocks the
+  pair, stranding the member LAN).  A v2 document carrying backward
+  provenance.
 
 Replaying is exact (deterministic simulator + recorded options), so
-these act as microscopic regression tests for the PR-2 race fixes —
-and as proof the exporter's format round-trips.
+these act as microscopic regression tests for the PR-2 and PR-8 race
+fixes — and as proof the exporter's format round-trips.
 """
 
 from __future__ import annotations
@@ -38,6 +47,7 @@ def test_golden_schedules_exist():
     names = {os.path.basename(path) for path in SCHEDULE_FILES}
     assert "quit_race_drop_quit.schedule.json" in names
     assert "lan_proxy_drop_join.schedule.json" in names
+    assert "migration_race_stale_cached_join.schedule.json" in names
 
 
 @pytest.mark.parametrize(
@@ -78,6 +88,29 @@ def test_lan_proxy_schedule_actually_drops_the_lan_join():
     assert len(dropped) == 1
     label = dropped[0].labels[dropped[0].chosen]
     assert "JOIN_REQUEST" in label and "S4" in label
+
+
+def test_stale_cached_join_schedule_drops_the_graft_chain():
+    payload = _load(
+        os.path.join(
+            SCHEDULE_DIR, "migration_race_stale_cached_join.schedule.json"
+        )
+    )
+    # A v2 document with backward-search provenance.
+    assert payload["format"] == "repro-explore-schedule/2"
+    assert payload["source"] == "backward"
+    assert payload["predicate"] == "member-stranded"
+    outcome = replay_payload(payload)
+    assert outcome.violation is None
+    dropped = [
+        decision
+        for decision in outcome.decisions
+        if decision.kind == "drop" and decision.chosen == 1
+    ]
+    assert len(dropped) == 3
+    assert all(
+        "JOIN_REQUEST" in d.labels[d.chosen] for d in dropped
+    ), [d.labels[d.chosen] for d in dropped]
 
 
 def test_golden_replay_is_reproducible():

@@ -214,6 +214,42 @@ class TestWorkerCountDeterminism:
         ]
         assert merged_fingerprint(whole) == merged_fingerprint(parts)
 
+    @pytest.mark.parametrize("scenario", ["joins-race", "migration-race"])
+    def test_frontier_workers_1_vs_8_byte_identical(self, scenario):
+        """ISSUE-8 determinism audit: the sharded forward frontier
+        merges to byte-identical visited-fingerprint sets and
+        identical counterexample lists whatever the worker count."""
+        from repro.explore.engine import merge_frontier_payloads
+        from repro.harness.tiers import _frontier_units
+
+        units = _frontier_units(0, depth=3, scenarios=[scenario])
+        serial = run_units(units, workers=1)
+        parallel = run_units(units, workers=8)
+        assert all(r.status in ("ok", "failed") for r in serial + parallel)
+        assert merged_fingerprint(serial) == merged_fingerprint(parallel)
+        merged_serial = merge_frontier_payloads([r.extra for r in serial])
+        merged_parallel = merge_frontier_payloads(
+            [r.extra for r in parallel]
+        )
+        assert merged_serial["visited"] == merged_parallel["visited"]
+        assert (
+            merged_serial["visited_digest"]
+            == merged_parallel["visited_digest"]
+        )
+        assert (
+            merged_serial["counterexamples"]
+            == merged_parallel["counterexamples"]
+        )
+
+    def test_explore_deep_workers_1_vs_8_identical(self):
+        from repro.harness.tiers import _explore_deep_units
+
+        units = _explore_deep_units(0, budget=20, scenarios=["joins-race"])
+        serial = run_units(units, workers=1)
+        parallel = run_units(units, workers=8)
+        assert merged_fingerprint(serial) == merged_fingerprint(parallel)
+        assert merge_metrics(serial) == merge_metrics(parallel)
+
     @pytest.mark.skipif(
         (os.cpu_count() or 1) < 4,
         reason="wall-clock speedup needs >=4 cores (single-core host)",
