@@ -438,6 +438,66 @@ def bench_telemetry(quick: bool) -> Dict[str, Metric]:
     }
 
 
+def bench_workloads(quick: bool) -> Dict[str, Metric]:
+    """Production workload cells: flash crowd + churn processes.
+
+    Doubles as the CI wiring for ``repro workload``: the benchmark
+    raises (failing the suite) if the flash-crowd cell misses an
+    exactly-once delivery, leaves the tree undrained, or any cell
+    trips the auditor or a snapshot check.  Gated metrics are
+    drift-immune only: deterministic sim-event counts, pair counts,
+    and the continuity ratio.
+    """
+    from repro.workloads.cell import run_churn_cell, run_flash_crowd_cell
+
+    t0 = time.perf_counter()
+    flash = run_flash_crowd_cell(topology="bulk1000", seed=17, quick=quick)
+    flash_wall = time.perf_counter() - t0
+    if not flash.clean:
+        raise AssertionError(
+            f"flash-crowd cell not clean: drained={flash.drained} "
+            f"missing={len(flash.missing)} dups={flash.duplicate_pairs} "
+            f"violations={flash.violations[:3]}"
+        )
+    churn_events = 0
+    t0 = time.perf_counter()
+    for process in ("poisson", "pareto"):
+        churn = run_churn_cell(process, topology="waxman16", seed=17, quick=quick)
+        if not churn.clean:
+            raise AssertionError(
+                f"{process} churn cell not clean: "
+                f"recovered={churn.recovered} "
+                f"violations={churn.violations[:3]} "
+                f"findings={churn.final_findings[:3]}"
+            )
+        churn_events += churn.sim_events
+    churn_wall = time.perf_counter() - t0
+    tag = "quick" if quick else "full"
+    return {
+        f"flash_sim_events_{tag}": _metric(
+            flash.sim_events, "events", higher_is_better=False, gated=True
+        ),
+        f"flash_expected_pairs_{tag}": _metric(
+            flash.expected_pairs, "pairs", gated=True
+        ),
+        f"flash_continuity_{tag}": _metric(
+            flash.continuity, "ratio", gated=True
+        ),
+        f"flash_control_msgs_{tag}": _metric(
+            flash.control_cbt, "msgs", higher_is_better=False, gated=True
+        ),
+        f"flash_wall_seconds_{tag}": _metric(
+            flash_wall, "s", higher_is_better=False
+        ),
+        f"churn_sim_events_{tag}": _metric(
+            churn_events, "events", higher_is_better=False, gated=True
+        ),
+        f"churn_wall_seconds_{tag}": _metric(
+            churn_wall, "s", higher_is_better=False
+        ),
+    }
+
+
 BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "route_lookup": bench_route_lookup,
     "recompute": bench_recompute,
@@ -448,6 +508,7 @@ BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "chaos": bench_chaos,
     "explore": bench_explore,
     "telemetry": bench_telemetry,
+    "workloads": bench_workloads,
 }
 
 

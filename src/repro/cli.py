@@ -50,6 +50,7 @@ EXPERIMENTS = [
     ("E17", "bench_pim_comparison.py", "CBT vs PIM-SM (RP tree / SPT switchover)"),
     ("E18", "bench_legacy_join.py", "draft-02 vs draft-03 join procedure"),
     ("E19", "bench_core_migration.py", "core migration: locality handover"),
+    ("E20", "bench_flash_crowd.py", "bootcast flash crowd on the n=1000 bulk topology"),
 ]
 
 
@@ -246,6 +247,101 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check=not args.no_check,
         output_dir=args.output_dir,
     )
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.harness.formatting import format_table
+    from repro.workloads.cell import WORKLOAD_TOPOLOGIES, run_workload_cell
+
+    if args.topology is not None and args.topology not in WORKLOAD_TOPOLOGIES:
+        print(
+            f"unknown topology {args.topology!r}; "
+            f"known: {', '.join(WORKLOAD_TOPOLOGIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_workload_cell(
+        args.workload, topology=args.topology, seed=args.seed, quick=args.quick
+    )
+
+    rows = []
+    # Sample fingerprints follow QualitySample.fingerprint() field order.
+    for fp in result.sample_fingerprints:
+        (
+            t, members, on_tree, cost_cbt, cost_spt, s_mean, _s_max,
+            ctl_cbt, ctl_dvmrp, ctl_mospf, p50, p95, p99,
+        ) = fp
+        rows.append(
+            [
+                f"{t:.1f}",
+                members,
+                on_tree,
+                f"{cost_cbt:.1f}",
+                f"{cost_spt:.1f}",
+                f"{s_mean:.2f}",
+                ctl_cbt,
+                ctl_dvmrp,
+                ctl_mospf,
+                f"{p50 * 1000:.0f}",
+                f"{p95 * 1000:.0f}",
+                f"{p99 * 1000:.0f}",
+            ]
+        )
+    print(f"workload {args.workload} on {result.topology} (seed={args.seed})")
+    print(
+        format_table(
+            [
+                "t",
+                "members",
+                "on-tree",
+                "cost/cbt",
+                "cost/spt",
+                "stretch",
+                "ctl/cbt",
+                "ctl/dvmrp",
+                "ctl/mospf",
+                "p50ms",
+                "p95ms",
+                "p99ms",
+            ],
+            rows,
+        )
+    )
+    if args.workload == "flash-crowd":
+        print(
+            f"clients={result.clients} segments={result.segments} "
+            f"expected={result.expected_pairs} "
+            f"delivered={result.delivered_pairs} "
+            f"duplicates={result.duplicate_pairs} "
+            f"continuity={result.continuity:.4f} "
+            f"drained={'yes' if result.drained else 'NO'}"
+        )
+    else:
+        print(
+            f"hosts={result.hosts} joins={result.joins} "
+            f"leaves={result.leaves} "
+            f"recovered={'yes' if result.recovered else 'NO'}"
+        )
+    control = (
+        f"control: cbt={result.control_cbt} "
+        f"dvmrp(model)={result.control_dvmrp_model} "
+        f"mospf(model)={result.control_mospf_model}"
+    )
+    if args.workload == "flash-crowd":
+        control += (
+            f"  join p50/p95/p99 = "
+            f"{result.join_p50 * 1000:.0f}/{result.join_p95 * 1000:.0f}/"
+            f"{result.join_p99 * 1000:.0f} ms"
+        )
+    print(control)
+    for name, findings in sorted(getattr(result, "snapshots", {}).items()):
+        print(f"snapshot {name}: {'clean' if not findings else 'FINDINGS'}")
+        for line in findings[:10]:
+            print(f"  {line}")
+    for line in result.violations[:10]:
+        print(f"violation: {line}")
+    print("clean" if result.clean else "NOT CLEAN")
+    return 0 if result.clean else 1
 
 
 def cmd_ci(args: argparse.Namespace) -> int:
@@ -866,6 +962,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print each cell as it finishes"
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    workload = sub.add_parser(
+        "workload",
+        help="run a production traffic workload cell (flash crowd or churn)",
+    )
+    workload.add_argument(
+        "workload",
+        choices=["flash-crowd", "poisson", "pareto"],
+        help="flash-crowd: bootcast burst; poisson/pareto: session churn",
+    )
+    workload.add_argument(
+        "--topology",
+        metavar="NAME",
+        default=None,
+        help="topology (default: bulk1000 for flash-crowd, else waxman16)",
+    )
+    workload.add_argument(
+        "--seed", type=int, default=0, help="base seed (default: 0)"
+    )
+    workload.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller crowd / shorter churn window",
+    )
+    workload.set_defaults(func=cmd_workload)
 
     explore = sub.add_parser(
         "explore",

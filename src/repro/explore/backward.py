@@ -141,6 +141,28 @@ INVERSE_RULES: Tuple[InverseRule, ...] = (
         ),
         deviations=("FLUSH_TREE", "JOIN_REQUEST", "JOIN_ACK"),
     ),
+    # -- packet-never-arrives ----------------------------------------------
+    InverseRule(
+        predicate="packet-never-arrives",
+        transition="_recv_join_ack / _recv_quit_request",
+        precondition=(
+            "the downstream's JOIN_ACK installed its parent pointer "
+            "while a crossing QUIT tore the matching child pointer "
+            "out of the upstream: the JOIN side converges, the data "
+            "path down the tree does not"
+        ),
+        deviations=("JOIN_ACK", "QUIT_REQUEST"),
+    ),
+    InverseRule(
+        predicate="packet-never-arrives",
+        transition="_recv_quit_ack",
+        precondition=(
+            "a QUIT_ACK confirmed a child removal the quitter had "
+            "already abandoned (§5.3 quit-abort re-join), leaving the "
+            "re-joined branch absent from the upstream's child list"
+        ),
+        deviations=("QUIT_REQUEST", "QUIT_ACK"),
+    ),
     # -- conservation-broken -----------------------------------------------
     InverseRule(
         predicate="conservation-broken",

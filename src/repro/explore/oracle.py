@@ -13,11 +13,16 @@ Two strengths of check are applied at two different moments:
 * :func:`convergence_findings` — once the explored schedule has run
   out and the simulation has settled.  Here the full
   :func:`repro.core.audit.check_invariants` sweep must be clean, every
-  member LAN must be served by an attached on-tree router, and every
+  member LAN must be served by an attached on-tree router, every
   on-tree router must reach a core by following parent pointers — the
   "tree matches unicast-route expectations" end state: the tree the
   joins built over unicast routes must actually span the members and
-  root at a core.
+  root at a core — and data must be *deliverable*: every served
+  member LAN must be reachable from an on-tree core by walking child
+  pointers downstream, the path a data packet actually takes.  A
+  member can be "served" (its router holds a FIB entry) yet
+  unreachable when an upstream hop lost its child pointer — the
+  packet-never-arrives goal state.
 
 Soft conditions with legitimate transient windows (parent/child
 asymmetry while a QUIT or JOIN_ACK is in flight, age bounds that need
@@ -192,4 +197,70 @@ def convergence_findings(domain, group, members) -> List[Finding]:
             if nxt is None or hops > len(domain.protocols):
                 break  # unknown parent / loop: already reported above
             current = nxt
+
+    findings.extend(
+        _delivery_findings(domain, group, members, live, address_owner)
+    )
+    return findings
+
+
+def _delivery_findings(
+    domain, group, members, live, address_owner
+) -> List[Finding]:
+    """Members to whom data can never arrive.
+
+    Data flows *down* the tree: a core forwards over its child
+    pointers, each child over its own, until the member LAN.  The
+    parent-chain check above walks the opposite direction, so it
+    cannot see a hop whose parent pointer is intact but whose
+    upstream's matching *child* pointer is gone — packets stop there
+    while every JOIN-side invariant still holds.  Flood downstream
+    from every on-tree core over child pointers and flag members
+    whose serving routers are all outside the reach set.  Members
+    with no serving router at all are skipped — the member-stranded
+    check already owns that failure.
+    """
+    reachable: Set[str] = set()
+    queue = [
+        name
+        for name, protocol in live.items()
+        if protocol.is_core_for(group) and protocol.fib.get(group) is not None
+    ]
+    reachable.update(queue)
+    while queue:
+        entry = live[queue.pop()].fib.get(group)
+        for child_address in entry.children:
+            child = address_owner.get(child_address)
+            if (
+                child in live
+                and child not in reachable
+                and live[child].fib.get(group) is not None
+            ):
+                reachable.add(child)
+                queue.append(child)
+
+    findings: List[Finding] = []
+    for member in sorted(members):
+        host = domain.network.host(member)
+        subnet = host.interface.network
+        serving = [
+            name
+            for name, protocol in live.items()
+            if protocol.fib.get(group) is not None
+            and any(
+                interface.network == subnet
+                for interface in protocol.router.interfaces
+            )
+        ]
+        if serving and not any(name in reachable for name in serving):
+            findings.append(
+                Finding(
+                    "error",
+                    member,
+                    group,
+                    f"data can never arrive: no on-tree router on member "
+                    f"LAN {subnet} is reachable from a core over child "
+                    f"links",
+                )
+            )
     return findings

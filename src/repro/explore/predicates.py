@@ -136,6 +136,19 @@ PREDICATES: Dict[str, Predicate] = {
             ),
         ),
         Predicate(
+            name="packet-never-arrives",
+            description=(
+                "A joined member is served by an on-tree router that "
+                "no core can reach over child pointers: every "
+                "JOIN-side invariant holds (parent chain intact, LAN "
+                "served), yet the downstream data path is severed — "
+                "an upstream hop lost the matching child pointer, "
+                "typically to a QUIT/ACK crossing a JOIN_ACK install."
+            ),
+            markers=("data can never arrive",),
+            triggers=("JOIN_ACK", "QUIT_REQUEST", "QUIT_ACK"),
+        ),
+        Predicate(
             name="conservation-broken",
             description=(
                 "A conservation law or state-consistency invariant is "

@@ -65,6 +65,7 @@ DEFAULT_TIMEOUTS: Dict[str, float] = {
     "explore-frontier": 900.0,
     "explore-deep": 900.0,
     "migration": 300.0,
+    "workload": 900.0,
     "bench": 1800.0,
     "pytest": 1800.0,
     "lint": 600.0,
@@ -231,6 +232,44 @@ def _execute_migration(params: Dict[str, object]) -> Dict[str, object]:
     return {
         "status": "ok" if ok else "failed",
         "fingerprint": stable_digest("migration", result.fingerprint()),
+        "detail": detail,
+        "metrics": metrics,
+    }
+
+
+def _execute_workload(params: Dict[str, object]) -> Dict[str, object]:
+    from repro.workloads.cell import run_workload_cell
+
+    result = run_workload_cell(
+        str(params["workload"]),
+        topology=str(params["topology"]),
+        seed=int(params["seed"]),
+        quick=bool(params.get("quick", True)),
+    )
+    ok = result.clean
+    detail = [] if ok else (
+        [f"recovered={result.recovered}"]
+        + [f"violation: {line}" for line in result.violations[:10]]
+        + [
+            f"finding: {line}"
+            for lines in getattr(result, "snapshots", {}).values()
+            for line in lines[:5]
+        ]
+        + [
+            f"finding: {line}"
+            for line in getattr(result, "final_findings", [])[:5]
+        ]
+        + [
+            f"missed segment: {host} @ t={at}"
+            for host, at in getattr(result, "missing", [])[:10]
+        ]
+    )
+    metrics = dict(result.metrics)
+    metrics["ci.workload.cells"] = 1
+    metrics["ci.workload.clean"] = 1 if result.clean else 0
+    return {
+        "status": "ok" if ok else "failed",
+        "fingerprint": stable_digest("workload", result.fingerprint()),
         "detail": detail,
         "metrics": metrics,
     }
@@ -640,6 +679,7 @@ def _execute_shard(params: Dict[str, object]) -> Dict[str, object]:
 EXECUTORS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
     "chaos": _execute_chaos,
     "migration": _execute_migration,
+    "workload": _execute_workload,
     "explore": _execute_explore,
     "explore-frontier": _execute_explore_frontier,
     "explore-deep": _execute_explore_deep,

@@ -14,17 +14,20 @@ Tiers (see docs/CI.md for the full contract):
 lint      ruff (or the built-in fallback) over src/tests/benchmarks/examples
 smoke     quick chaos cells + a bounded exploration + a fast pytest group
 chaos     the full chaos campaign, one unit per (topology, scenario, cell),
-          plus one core-migration experiment cell per topology
+          plus one core-migration experiment cell per topology, plus the
+          production-workload cells (quick flash crowd on the n=1000
+          bulk topology, Poisson and Pareto on/off churn on waxman16)
 explore   every explorer scenario at full depth, one unit per scenario
 tier1     the whole pytest suite in round-robin file groups + coverage floors
 bench     the perf-regression suite, one unit per benchmark module
 full      chaos + explore + tier1 + bench (quick) + lint
 nightly   full with deeper exploration, more chaos cells, full-size
-          benches, the sharded forward frontier (``explore-frontier``
-          cells, one per (scenario, shard)), and the budgeted backward
-          search (``explore-deep`` cells, one per (scenario,
-          predicate) with pinned sub-seeds; stats surface as
-          ``ci.explore.backward.*`` in the merged metrics)
+          benches and workload cells (160-client flash crowd), the
+          sharded forward frontier (``explore-frontier`` cells, one per
+          (scenario, shard)), and the budgeted backward search
+          (``explore-deep`` cells, one per (scenario, predicate) with
+          pinned sub-seeds; stats surface as ``ci.explore.backward.*``
+          in the merged metrics)
 ========  ==================================================================
 
 The ``repro-ci-report/1`` JSON document captures the tier, the unit
@@ -140,6 +143,33 @@ def _migration_units(seed: int, reps: int = 1) -> List[WorkUnit]:
         )
         for topology in sorted(TOPOLOGIES)
         for rep in range(reps)
+    ]
+
+
+#: The production-workload cell matrix: the bootcast flash crowd runs
+#: on the n=1000 bulk topology (the acceptance surface), the two churn
+#: processes on waxman16.
+WORKLOAD_CELLS = (
+    ("flash-crowd", "bulk1000"),
+    ("pareto", "waxman16"),
+    ("poisson", "waxman16"),
+)
+
+
+def _workload_units(seed: int, quick: bool = True) -> List[WorkUnit]:
+    """One production-workload cell per (workload, topology)."""
+    return [
+        WorkUnit.make(
+            "workload",
+            f"workload/{workload}/{topology}/0",
+            {
+                "workload": workload,
+                "topology": topology,
+                "quick": quick,
+                "seed": derive_seed(seed, "workload", workload, topology, 0),
+            },
+        )
+        for workload, topology in WORKLOAD_CELLS
     ]
 
 
@@ -275,9 +305,11 @@ def build_tier(
             + _pytest_units("smoke", [list(SMOKE_PYTEST_FILES)])
         )
     elif tier == "chaos":
-        units = _chaos_units(
-            seed, {"figure1": 3, "grid9": 2, "waxman16": 2}
-        ) + _migration_units(seed)
+        units = (
+            _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+            + _migration_units(seed)
+            + _workload_units(seed, quick=True)
+        )
     elif tier == "explore":
         units = _explore_units(depth=4)
     elif tier == "tier1":
@@ -289,6 +321,7 @@ def build_tier(
             [_lint_unit()]
             + _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
             + _migration_units(seed)
+            + _workload_units(seed, quick=True)
             + _explore_units(depth=4)
             + _pytest_units("tier1", pytest_groups())
             + [_coverage_unit()]
@@ -299,6 +332,7 @@ def build_tier(
             [_lint_unit()]
             + _chaos_units(seed, {"figure1": 5, "grid9": 3, "waxman16": 3})
             + _migration_units(seed, reps=2)
+            + _workload_units(seed, quick=False)
             + _explore_units(depth=5)
             + _frontier_units(seed, depth=5)
             + _explore_deep_units(seed)

@@ -17,6 +17,19 @@ from typing import List, Sequence
 
 from repro.topology.builder import Network
 
+#: The only membership actions a schedule may carry.
+VALID_ACTIONS = ("join", "leave")
+
+
+class ChurnActionError(ValueError):
+    """A schedule carried an action outside :data:`VALID_ACTIONS`.
+
+    Raised at construction: the ``joins``/``leaves`` counters and
+    :func:`apply_churn` treat the action as a two-way switch, so an
+    unknown string would silently vanish from the books (or be applied
+    as a leave) instead of failing loudly.
+    """
+
 
 @dataclass(frozen=True)
 class ChurnEvent:
@@ -26,12 +39,32 @@ class ChurnEvent:
     host: str
     action: str  # "join" or "leave"
 
+    def __post_init__(self) -> None:
+        if self.action not in VALID_ACTIONS:
+            raise ChurnActionError(
+                f"unknown churn action {self.action!r} for host "
+                f"{self.host!r} at t={self.time}; "
+                f"valid: {', '.join(VALID_ACTIONS)}"
+            )
+
 
 @dataclass
 class ChurnSchedule:
     """A deterministic join/leave schedule over a host population."""
 
     events: List[ChurnEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Events may arrive as bare tuples or pre-validated ChurnEvents;
+        # re-check so a hand-built list cannot smuggle an unknown action
+        # past the counters.
+        for event in self.events:
+            if event.action not in VALID_ACTIONS:
+                raise ChurnActionError(
+                    f"unknown churn action {event.action!r} for host "
+                    f"{event.host!r} at t={event.time}; "
+                    f"valid: {', '.join(VALID_ACTIONS)}"
+                )
 
     @property
     def joins(self) -> int:

@@ -1,0 +1,109 @@
+"""Bootcast-style flash crowds: a ramped join burst onto one cast.
+
+The shape follows a netboot "bootcast" distribution server: a single
+source streams content segments at a fixed cadence; thousands of
+clients request the same content within seconds of each other, join
+the cast *mid-stream* (the stream is already running when they
+arrive), receive segments while subscribed, and leave as soon as
+their transfer completes.  When the last client leaves, the cast is
+drained and the tree tears down to the core.
+
+Arrivals ramp: the instantaneous arrival rate grows linearly from 0
+at ``start`` to its peak at ``start + ramp`` (density proportional to
+``t``, realised by the inverse-CDF transform ``start + ramp *
+sqrt(u)``), which concentrates the burst toward the ramp end — the
+worst case for concurrent join establishment.  Every client draws its
+arrival from its own ``derive_seed`` stream, so the crowd is a pure
+function of ``(clients-as-a-set, config)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.harness.workload import ChurnEvent, ChurnSchedule
+from repro.netsim.faults import derive_seed
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Shape of one flash crowd."""
+
+    #: Length of the arrival burst (sim seconds): all clients arrive
+    #: within ``[start, start + ramp]``, density rising linearly.
+    ramp: float = 8.0
+    #: Per-client content time: a client leaves ``hold`` seconds after
+    #: its arrival (leave-on-completion).
+    hold: float = 12.0
+    #: Cadence of the source's content segments.
+    segment_spacing: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ramp <= 0 or self.hold <= 0 or self.segment_spacing <= 0:
+            raise ValueError(
+                f"ramp, hold, and segment_spacing must be positive: "
+                f"{self.ramp}/{self.hold}/{self.segment_spacing}"
+            )
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A generated crowd: who arrives when, and the segment clock."""
+
+    config: FlashCrowdConfig
+    start: float
+    #: ``host -> (arrival, leave)``, leave = arrival + hold.
+    sessions: Dict[str, Tuple[float, float]]
+    #: Join/leave schedule derived from the sessions.
+    schedule: ChurnSchedule
+    #: Send times of the source's content segments, covering
+    #: ``[start, drain]`` at ``segment_spacing``.
+    segments: Tuple[float, ...]
+
+    @property
+    def drain_time(self) -> float:
+        """When the last client has left and the cast is drained."""
+        if not self.sessions:
+            return self.start
+        return max(leave for _, leave in self.sessions.values())
+
+    @property
+    def mid_burst_time(self) -> float:
+        """Midpoint of the arrival ramp (the snapshot instant)."""
+        return self.start + self.config.ramp / 2.0
+
+
+def generate_flash_crowd(
+    clients: Sequence[str],
+    config: FlashCrowdConfig,
+    start: float = 0.0,
+) -> FlashCrowd:
+    """Deterministically place every client on the arrival ramp."""
+    sessions: Dict[str, Tuple[float, float]] = {}
+    for host in sorted(set(clients)):
+        rng = random.Random(derive_seed(config.seed, "flash", host))
+        # Inverse-CDF of a linearly rising density on [0, ramp].
+        arrival = start + config.ramp * math.sqrt(rng.random())
+        sessions[host] = (arrival, arrival + config.hold)
+    events = [
+        ChurnEvent(time=when, host=host, action=action)
+        for host, (arrival, leave) in sessions.items()
+        for when, action in ((arrival, "join"), (leave, "leave"))
+    ]
+    events.sort(key=lambda e: (e.time, e.host, e.action))
+    drain = max((leave for _, leave in sessions.values()), default=start)
+    count = int(math.floor((drain - start) / config.segment_spacing)) + 1
+    segments = tuple(
+        start + index * config.segment_spacing for index in range(count)
+    )
+    return FlashCrowd(
+        config=config,
+        start=start,
+        sessions=sessions,
+        schedule=ChurnSchedule(events=events),
+        segments=segments,
+    )

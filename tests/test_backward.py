@@ -60,6 +60,7 @@ def test_predicate_catalogue_is_complete():
         "forwarding-loop",
         "member-stranded",
         "non-core-root",
+        "packet-never-arrives",
         "conservation-broken",
     }
     for predicate in PREDICATES.values():

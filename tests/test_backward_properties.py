@@ -208,6 +208,8 @@ ORACLE_VOCABULARY = (
     "router R9 group 239.0.0.1: child R8 holds no state for the group",
     "group 239.0.0.1: member LAN 10.0.4.0/24 served by multiple on-tree "
     "routers",
+    "member B group 239.0.0.1: data can never arrive: no on-tree router "
+    "on member LAN 10.0.2.0/24 is reachable from a core over child links",
     "link L_R1_R2: negative in-flight (-1)",
     "link L_R1_R2: attempts 5 != tx 3 + pre-wire drops 1",
     "R1: protocol tx 4 != wire tx 3",

@@ -250,6 +250,22 @@ class TestWorkerCountDeterminism:
         assert merged_fingerprint(serial) == merged_fingerprint(parallel)
         assert merge_metrics(serial) == merge_metrics(parallel)
 
+    def test_workload_workers_1_vs_8_byte_identical(self):
+        """ISSUE-9 determinism audit: the production-workload cells
+        (flash crowd on bulk1000, both churn processes) merge to the
+        byte-identical fingerprint whatever the worker count."""
+        from repro.harness.tiers import _workload_units
+
+        units = _workload_units(0, quick=True)
+        assert {u.kind for u in units} == {"workload"}
+        serial = run_units(units, workers=1)
+        parallel = run_units(units, workers=8)
+        assert all(r.ok for r in serial), [
+            (r.unit_id, r.detail) for r in serial if not r.ok
+        ]
+        assert merged_fingerprint(serial) == merged_fingerprint(parallel)
+        assert merge_metrics(serial) == merge_metrics(parallel)
+
     @pytest.mark.skipif(
         (os.cpu_count() or 1) < 4,
         reason="wall-clock speedup needs >=4 cores (single-core host)",
@@ -309,6 +325,7 @@ class TestTiers:
             "lint",
             "chaos",
             "migration",
+            "workload",
             "explore",
             "pytest",
             "coverage",

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.harness.scenarios import build_cbt_group, pick_members, send_data
-from repro.harness.workload import ChurnEvent, ChurnSchedule, apply_churn, generate_churn
+from repro.harness.workload import (
+    ChurnActionError,
+    ChurnEvent,
+    ChurnSchedule,
+    apply_churn,
+    generate_churn,
+)
 from repro.topology.generators import waxman_network
 
 HOSTS = [f"H_N{i}" for i in range(8)]
@@ -50,6 +56,35 @@ class TestGenerateChurn:
         assert schedule.members_at_end() == ["b"]
         assert schedule.joins == 2
         assert schedule.leaves == 1
+
+
+class TestActionValidation:
+    def test_event_rejects_unknown_action(self):
+        with pytest.raises(ChurnActionError) as excinfo:
+            ChurnEvent(1.0, "a", "jion")
+        message = str(excinfo.value)
+        assert "jion" in message and "join, leave" in message
+
+    def test_schedule_rejects_unknown_action(self):
+        # A schedule built from externally supplied dicts (the CI
+        # replay path) bypasses ChurnEvent construction-time checks
+        # when events arrive pre-built, so the schedule re-validates.
+        bad = ChurnEvent(1.0, "a", "join")
+        object.__setattr__(bad, "action", "depart")
+        with pytest.raises(ChurnActionError):
+            ChurnSchedule(events=[bad])
+
+    def test_error_is_a_value_error(self):
+        # Callers catching the old silent-skip era's ValueError keep
+        # working.
+        with pytest.raises(ValueError):
+            ChurnEvent(2.0, "b", "")
+
+    def test_valid_actions_accepted(self):
+        schedule = ChurnSchedule(
+            events=[ChurnEvent(1.0, "a", "join"), ChurnEvent(2.0, "a", "leave")]
+        )
+        assert schedule.joins == 1 and schedule.leaves == 1
 
 
 class TestApplyChurn:
