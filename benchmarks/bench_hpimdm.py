@@ -1,0 +1,134 @@
+"""HPIM-DM comparator benchmark: hard-state convergence and recovery.
+
+Measures the two costs the CBT-vs-dense-mode argument turns on, as
+drift-immune sim-time counts (gated in the perf suite) plus
+informational wall-clock:
+
+* **convergence** — standing up the Figure-1 domain, flooding one
+  source, and reaching full synchronisation: total control messages
+  (asserts + interests + acks + retransmissions; hellos excluded) and
+  protocol state-change events;
+* **quiescence** — the no-re-flood property as a number: control
+  messages over a long settled window (must be exactly zero);
+* **recovery** — a transit-LAN outage longer than the neighbour hold
+  time, then restoration: the reactive control cost of tearing down
+  and re-synchronising the affected elections.
+
+Every phase asserts correctness (clean election census, nothing
+unacknowledged, exactly-once delivery) and raises on violation, so the
+benchmark doubles as a smoke gate wherever the perf suite runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.harness.scenarios import build_hpimdm_group, send_data
+from repro.topology.figures import build_figure1
+from repro.topology.generators import waxman_network
+
+
+def _delivered(network, members, uids) -> Dict[str, int]:
+    uid_set = set(uids)
+    return {
+        member: sum(
+            1
+            for datagram in network.host(member).delivered
+            if datagram.uid in uid_set
+        )
+        for member in members
+    }
+
+
+def _require_clean(domain, network, members, uids, expect, where: str) -> None:
+    findings = domain.election_findings()
+    if findings:
+        raise AssertionError(f"{where}: election findings: {findings[:3]}")
+    if domain.pending_total():
+        raise AssertionError(
+            f"{where}: {domain.pending_total()} advertisements unacknowledged"
+        )
+    counts = _delivered(network, members, uids)
+    wrong = {m: c for m, c in counts.items() if c != expect}
+    if wrong:
+        raise AssertionError(
+            f"{where}: delivery not exactly-once per packet: {wrong} "
+            f"(expected {expect} each)"
+        )
+
+
+def figure1_run() -> Tuple[int, int, int, int, int]:
+    """One full Figure-1 convergence + quiescence + recovery cycle.
+
+    Returns (convergence control msgs, convergence protocol events,
+    quiescent-window control msgs, recovery control msgs, total sim
+    events processed) — all deterministic counts.
+    """
+    network = build_figure1()
+    members = ["A", "G", "H"]
+    domain, group = build_hpimdm_group(network, members)
+
+    uids = send_data(network, "B", group, count=3, spacing=0.05)
+    network.run(until=network.scheduler.now + 12.0)
+    _require_clean(domain, network, members, uids, 3, "convergence")
+    converge_control = domain.control_messages()
+    converge_events = domain.events_total()
+
+    # The no-re-flood property, measured: a long settled window must
+    # cost zero hard-state control messages.
+    network.run(until=network.scheduler.now + 60.0)
+    quiescent_control = domain.control_messages() - converge_control
+    if quiescent_control:
+        raise AssertionError(
+            f"quiescence: {quiescent_control} control messages in a "
+            f"settled window (the no-re-flood property is broken)"
+        )
+
+    # Recovery: S2 (R1/R2/R3) outage past the hold time, then return.
+    recovery_start = domain.control_messages()
+    network.fail_link("S2")
+    network.run(until=network.scheduler.now + 6.0)
+    network.restore_link("S2")
+    network.run(until=network.scheduler.now + 15.0)
+    probe = send_data(network, "B", group, count=2, spacing=0.05)
+    network.run(until=network.scheduler.now + 12.0)
+    _require_clean(domain, network, members, probe, 2, "recovery")
+    recovery_control = domain.control_messages() - recovery_start
+
+    return (
+        converge_control,
+        converge_events,
+        quiescent_control,
+        recovery_control,
+        network.scheduler.events_processed,
+    )
+
+
+def waxman_run(size: int = 16, seed: int = 7) -> Tuple[int, int]:
+    """Convergence on a random topology: (control msgs, sim events)."""
+    from repro.harness.scenarios import pick_members
+
+    network = waxman_network(size, seed=seed)
+    members = pick_members(network, 4, seed=seed)
+    domain, group = build_hpimdm_group(network, members)
+    sender = pick_members(network, 1, seed=seed + 1)[0]
+    uids = send_data(network, sender, group, count=2, spacing=0.05)
+    network.run(until=network.scheduler.now + 20.0)
+    _require_clean(domain, network, members, uids, 2, f"waxman{size}")
+    return domain.control_messages(), network.scheduler.events_processed
+
+
+def main() -> None:
+    converge, events, quiet, recovery, sim_events = figure1_run()
+    print("figure1: convergence control msgs:", converge)
+    print("figure1: convergence protocol events:", events)
+    print("figure1: quiescent-window control msgs:", quiet)
+    print("figure1: recovery control msgs:", recovery)
+    print("figure1: sim events processed:", sim_events)
+    control, wax_events = waxman_run()
+    print("waxman16: control msgs:", control)
+    print("waxman16: sim events processed:", wax_events)
+
+
+if __name__ == "__main__":
+    main()

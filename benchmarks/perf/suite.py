@@ -498,6 +498,51 @@ def bench_workloads(quick: bool) -> Dict[str, Metric]:
     }
 
 
+def bench_hpimdm(quick: bool) -> Dict[str, Metric]:
+    """HPIM-DM comparator: hard-state convergence and recovery costs.
+
+    Doubles as a correctness smoke: the underlying runs raise (failing
+    the suite) on election-census findings, unacknowledged
+    advertisements, missed exactly-once delivery, or any control
+    message sent during a settled window (the no-re-flood property).
+    Gated metrics are deterministic sim-time counts only.
+    """
+    from benchmarks.bench_hpimdm import figure1_run, waxman_run
+
+    t0 = time.perf_counter()
+    converge, events, quiet, recovery, sim_events = figure1_run()
+    wall = time.perf_counter() - t0
+    metrics = {
+        "figure1_convergence_control_msgs": _metric(
+            converge, "msgs", higher_is_better=False, gated=True
+        ),
+        "figure1_convergence_events": _metric(
+            events, "events", higher_is_better=False, gated=True
+        ),
+        # Asserted to be exactly zero inside figure1_run; recorded for
+        # the trajectory (a zero can never trip the ratio gate).
+        "figure1_quiescent_control_msgs": _metric(
+            quiet, "msgs", higher_is_better=False
+        ),
+        "figure1_recovery_control_msgs": _metric(
+            recovery, "msgs", higher_is_better=False, gated=True
+        ),
+        "figure1_sim_events": _metric(
+            sim_events, "events", higher_is_better=False, gated=True
+        ),
+        "figure1_wall_seconds": _metric(wall, "s", higher_is_better=False),
+    }
+    if not quick:
+        control, wax_events = waxman_run()
+        metrics["waxman16_control_msgs"] = _metric(
+            control, "msgs", higher_is_better=False, gated=True
+        )
+        metrics["waxman16_sim_events"] = _metric(
+            wax_events, "events", higher_is_better=False, gated=True
+        )
+    return metrics
+
+
 BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "route_lookup": bench_route_lookup,
     "recompute": bench_recompute,
@@ -509,6 +554,7 @@ BENCHMARKS: Dict[str, Callable[[bool], Dict[str, Metric]]] = {
     "explore": bench_explore,
     "telemetry": bench_telemetry,
     "workloads": bench_workloads,
+    "hpimdm": bench_hpimdm,
 }
 
 

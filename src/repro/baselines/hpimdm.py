@@ -1,0 +1,927 @@
+"""HPIM-DM-style hard-state dense-mode multicast (the ROADMAP comparator).
+
+The CBT paper's argument against dense mode is soft state: DVMRP keeps
+per-(source, group) entries alive with periodic re-flooding, so its
+steady-state control cost never reaches zero and its recovery story is
+"wait for the next flood".  HPIM-DM (arXiv 2002.06635) answers from
+inside the dense-mode family: keep the same per-(source, group) tree
+shape but make every piece of state *hard* — reliably synchronised
+between neighbours with sequence numbers and acknowledgements, elected
+per link, and repaired only when neighbour-failure detection (the
+hello protocol, the one periodic message left) says a neighbour is
+gone.  This module implements that design point faithfully enough to
+measure the trade-off the paper argues about:
+
+* per-(source, group) entries with an **upstream interface** chosen by
+  RPF and an **AssertWinner-style election** on every downstream link:
+  each router with a route to the source advertises its metric in a
+  sequence-numbered ``HpimAssert``; the best (metric, address) pair
+  wins the link and is the only router that forwards onto it;
+* **explicit interest propagation** replacing flood-and-prune's decay:
+  downstream routers advertise ``HpimInterest(interested=...)`` on
+  their upstream link — hard prune/graft state that changes only when
+  membership or the downstream topology changes, never on a timer;
+* **reliable synchronisation**: every Assert/Interest carries a
+  per-router sequence number, is acknowledged per neighbour
+  (``HpimAck``), and is retransmitted until every live neighbour has
+  acknowledged it or is declared dead.  A rebooting or newly appeared
+  neighbour (fresh generation id in its hello) triggers a full
+  re-advertisement of link state — synchronisation on neighbour *up*;
+* **recovery driven purely by neighbour-failure detection**: when a
+  neighbour's hellos stop past the hold time its claims and interests
+  are flushed, elections re-run, and interest is recomputed.  There is
+  no periodic re-flood timer and no state expiry anywhere else.
+
+Stats separate the periodic hellos from the hard-state control plane
+(`control_messages` counts asserts + interests + acks +
+retransmissions, never hellos), mirroring how the DVMRP comparator
+excludes probes — so the E2-style overhead comparison measures the
+protocols' *reactive* cost on identical fault schedules (see
+``repro.harness.baseline_cell``).
+
+Simplifications vs the full HPIM-DM spec, in the spirit of
+``dvmrp.py``: unicast routing is shared with the platform's link-state
+tables (all the election needs is a metric per source), message
+CheckpointSN/snapshot machinery is collapsed into the per-router
+sequence number, and the source subnet's originating hosts need no
+upstream winner (data enters the LAN directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ipaddress import IPv4Address
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.igmp.host import IGMPHostAgent
+from repro.igmp.router_side import IGMPConfig, IGMPRouterAgent
+from repro.netsim.engine import PeriodicTimer
+from repro.netsim.nic import Interface
+from repro.netsim.node import Node
+from repro.netsim.packet import IPDatagram, PROTO_IGMP
+from repro.routing.table import Router
+from repro.topology.builder import Network
+
+#: Simulator-local protocol number for HPIM-DM control messages.
+PROTO_HPIM = 201
+
+#: All-HPIM-routers group (PIM's 224.0.0.13), link-local.
+ALL_HPIM_ROUTERS = IPv4Address("224.0.0.13")
+
+#: Metric advertised to withdraw an assert claim ("I cannot reach the
+#: source / I am downstream here").
+INFINITE_METRIC = float("inf")
+
+DEFAULT_HELLO_INTERVAL = 5.0
+DEFAULT_NEIGHBOUR_HOLD = 17.5
+DEFAULT_RTX_INTERVAL = 1.0
+
+
+# -- control messages --------------------------------------------------------
+#
+# Class names double as telemetry / explorer gate labels (payload_label
+# falls back to the class name), so they are prefixed and CamelCased.
+
+
+@dataclass(frozen=True)
+class HpimHello:
+    """Neighbour keepalive; ``gen_id`` changes on restart."""
+
+    gen_id: int
+
+    def size_bytes(self) -> int:
+        return 12
+
+
+@dataclass(frozen=True)
+class HpimAssert:
+    """Sequence-numbered upstream-election claim for one (S, G) link."""
+
+    source: IPv4Address
+    group: IPv4Address
+    metric: float
+    seq: int
+
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class HpimInterest:
+    """Sequence-numbered downstream interest (graft/prune) for (S, G)."""
+
+    source: IPv4Address
+    group: IPv4Address
+    interested: bool
+    seq: int
+
+    def size_bytes(self) -> int:
+        return 20
+
+
+@dataclass(frozen=True)
+class HpimAck:
+    """Per-neighbour acknowledgement of an Assert or Interest."""
+
+    source: IPv4Address
+    group: IPv4Address
+    kind: str  # "assert" | "interest"
+    seq: int
+
+    def size_bytes(self) -> int:
+        return 16
+
+
+@dataclass
+class Neighbour:
+    """One hello-discovered neighbour on a link."""
+
+    gen_id: int
+    last_seen: float
+
+
+@dataclass
+class TreeEntry:
+    """Hard (S, G) state: upstream choice + per-link synchronised views."""
+
+    source: IPv4Address
+    group: IPv4Address
+    upstream_vif: Optional[int]
+    #: vif -> {neighbour address -> (claimed metric, seq)} — their asserts.
+    claims: Dict[int, Dict[IPv4Address, Tuple[float, int]]] = field(
+        default_factory=dict
+    )
+    #: vif -> {neighbour address -> (interested, seq)} — their interests.
+    interests: Dict[int, Dict[IPv4Address, Tuple[bool, int]]] = field(
+        default_factory=dict
+    )
+    #: vif -> metric we last advertised there (INFINITE_METRIC = withdrawn).
+    my_assert: Dict[int, float] = field(default_factory=dict)
+    #: vif -> interest we last advertised there (None = never advertised).
+    my_interest: Dict[int, bool] = field(default_factory=dict)
+
+    def state_size(self) -> int:
+        """Stored items: the entry plus each synchronised neighbour
+        record — the E1 router-state metric."""
+        return (
+            1
+            + sum(len(t) for t in self.claims.values())
+            + sum(len(t) for t in self.interests.values())
+        )
+
+
+@dataclass
+class _Pending:
+    """An advertisement awaiting acknowledgement from live neighbours."""
+
+    message: object
+    vif: int
+    waiting: Set[IPv4Address]
+
+
+@dataclass
+class HPIMStats:
+    data_forwards: int = 0
+    hellos_sent: int = 0
+    asserts_sent: int = 0
+    interests_sent: int = 0
+    acks_sent: int = 0
+    retransmissions: int = 0
+    rpf_drops: int = 0
+    uninterested_drops: int = 0
+
+    def control_messages(self) -> int:
+        """Hard-state control cost; hellos (the only periodic message)
+        are excluded, mirroring DVMRP's probe exclusion."""
+        return (
+            self.asserts_sent
+            + self.interests_sent
+            + self.acks_sent
+            + self.retransmissions
+        )
+
+
+class HPIMDMProtocol:
+    """Hard-state dense-mode engine for one router."""
+
+    def __init__(
+        self,
+        router: Router,
+        hello_interval: float = DEFAULT_HELLO_INTERVAL,
+        neighbour_hold: float = DEFAULT_NEIGHBOUR_HOLD,
+        rtx_interval: float = DEFAULT_RTX_INTERVAL,
+        igmp_config: Optional[IGMPConfig] = None,
+        gen_id: int = 1,
+    ) -> None:
+        self.router = router
+        self.hello_interval = hello_interval
+        self.neighbour_hold = neighbour_hold
+        self.rtx_interval = rtx_interval
+        self.gen_id = gen_id
+        self.igmp = IGMPRouterAgent(router, config=igmp_config)
+        self.entries: Dict[Tuple[IPv4Address, IPv4Address], TreeEntry] = {}
+        #: vif -> {neighbour address -> Neighbour}
+        self.neighbours: Dict[int, Dict[IPv4Address, Neighbour]] = {}
+        self.stats = HPIMStats()
+        #: (vif, kind, source, group) -> _Pending (unacked advertisement).
+        self._pending: Dict[Tuple[int, str, IPv4Address, IPv4Address], _Pending] = {}
+        self._seq = 0
+        #: State-change log; quiescence detection counts its length.
+        self.events: List[Tuple[float, str]] = []
+        self._hello_ticker: Optional[PeriodicTimer] = None
+        self._rtx_ticker: Optional[PeriodicTimer] = None
+        router.register_handler(PROTO_HPIM, self._handle_control)
+        router.multicast_forwarder = self
+        self.igmp.on_membership_change(self._on_membership_change)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self.igmp.start()
+        self._send_hellos()
+        self._hello_ticker = PeriodicTimer(
+            self.router.scheduler, self.hello_interval, self._on_hello_tick
+        )
+        self._hello_ticker.start()
+
+    def stop(self) -> None:
+        if self._hello_ticker is not None:
+            self._hello_ticker.stop()
+        if self._rtx_ticker is not None:
+            self._rtx_ticker.stop()
+            self._rtx_ticker = None
+
+    def state_size(self) -> int:
+        return sum(entry.state_size() for entry in self.entries.values())
+
+    def _log(self, what: str) -> None:
+        self.events.append((self.router.scheduler.now, what))
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _interface(self, vif: int) -> Optional[Interface]:
+        for interface in self.router.interfaces:
+            if interface.vif == vif:
+                return interface
+        return None
+
+    # -- neighbour discovery and failure detection -----------------------
+
+    def _send_hellos(self) -> None:
+        for interface in self.router.interfaces:
+            if not interface.up:
+                continue
+            self.stats.hellos_sent += 1
+            interface.send(
+                IPDatagram(
+                    src=interface.address,
+                    dst=ALL_HPIM_ROUTERS,
+                    proto=PROTO_HPIM,
+                    payload=HpimHello(gen_id=self.gen_id),
+                    ttl=1,
+                )
+            )
+
+    def _on_hello_tick(self) -> None:
+        self._send_hellos()
+        self._sweep_neighbours()
+        # Hard state does not expire, but routes drift after topology
+        # changes: re-evaluate every entry so metric changes and
+        # upstream moves are re-advertised (changes only, no re-flood).
+        for entry in list(self.entries.values()):
+            self._reevaluate(entry)
+
+    def _sweep_neighbours(self) -> None:
+        now = self.router.scheduler.now
+        for vif in sorted(self.neighbours):
+            table = self.neighbours[vif]
+            stale = sorted(
+                addr
+                for addr, neighbour in table.items()
+                if now - neighbour.last_seen > self.neighbour_hold
+            )
+            for addr in stale:
+                del table[addr]
+                self._neighbour_down(vif, addr)
+
+    def _neighbour_down(self, vif: int, addr: IPv4Address) -> None:
+        """Flush a dead neighbour everywhere: claims, interests, acks."""
+        self._log(f"neighbour-down vif={vif} {addr}")
+        for key in sorted(self._pending, key=str):
+            pending = self._pending[key]
+            if pending.vif == vif:
+                pending.waiting.discard(addr)
+                if not pending.waiting:
+                    del self._pending[key]
+        for entry in list(self.entries.values()):
+            changed = False
+            if entry.claims.get(vif, {}).pop(addr, None) is not None:
+                changed = True
+            if entry.interests.get(vif, {}).pop(addr, None) is not None:
+                changed = True
+            if changed:
+                self._reevaluate(entry)
+
+    def _live_neighbours(self, vif: int) -> Set[IPv4Address]:
+        now = self.router.scheduler.now
+        table = self.neighbours.get(vif, {})
+        return {
+            addr
+            for addr, neighbour in table.items()
+            if now - neighbour.last_seen <= self.neighbour_hold
+        }
+
+    # -- control-plane receive -------------------------------------------
+
+    def _handle_control(
+        self, node: Node, interface: Interface, datagram: IPDatagram
+    ) -> None:
+        message = datagram.payload
+        if isinstance(message, HpimHello):
+            self._recv_hello(interface, datagram.src, message)
+        elif isinstance(message, HpimAssert):
+            self._recv_assert(interface, datagram.src, message)
+        elif isinstance(message, HpimInterest):
+            self._recv_interest(interface, datagram.src, message)
+        elif isinstance(message, HpimAck):
+            self._recv_ack(interface, datagram.src, message)
+
+    def _recv_hello(
+        self, arrival: Interface, src: IPv4Address, hello: HpimHello
+    ) -> None:
+        table = self.neighbours.setdefault(arrival.vif, {})
+        known = table.get(src)
+        now = self.router.scheduler.now
+        if known is not None and known.gen_id == hello.gen_id:
+            known.last_seen = now
+            return
+        if known is not None:
+            # Restarted neighbour: its synchronised state is gone.
+            self._neighbour_down(arrival.vif, src)
+        table[src] = Neighbour(gen_id=hello.gen_id, last_seen=now)
+        self._log(f"neighbour-up vif={arrival.vif} {src}")
+        self._sync_link(arrival.vif, src)
+
+    def _sync_link(self, vif: int, addr: IPv4Address) -> None:
+        """A neighbour (re)appeared: re-send our full link state to it
+        with fresh sequence numbers, and re-evaluate (a new downstream
+        router flips flood-default interest on the link)."""
+        for entry in list(self.entries.values()):
+            metric = entry.my_assert.get(vif)
+            if metric is not None:
+                self._advertise_assert(entry, vif, metric, only={addr})
+            interest = entry.my_interest.get(vif)
+            if interest is not None:
+                self._advertise_interest(entry, vif, interest, only={addr})
+        for entry in list(self.entries.values()):
+            self._reevaluate(entry)
+
+    def _recv_assert(
+        self, arrival: Interface, src: IPv4Address, message: HpimAssert
+    ) -> None:
+        entry = self._entry_for(message.source, message.group)
+        self._send_ack(arrival, src, message.source, message.group, "assert", message.seq)
+        if entry is None:
+            return
+        table = entry.claims.setdefault(arrival.vif, {})
+        known = table.get(src)
+        if known is not None and known[1] >= message.seq:
+            return  # stale or duplicate (reordered retransmission)
+        # Withdrawals (infinite metric) stay in the table with their
+        # sequence number so a reordered older claim cannot resurrect
+        # the neighbour; the election filters them out.
+        table[src] = (message.metric, message.seq)
+        self._log(
+            f"assert vif={arrival.vif} {src} metric={message.metric} "
+            f"g={message.group}"
+        )
+        self._reevaluate(entry)
+
+    def _recv_interest(
+        self, arrival: Interface, src: IPv4Address, message: HpimInterest
+    ) -> None:
+        entry = self._entry_for(message.source, message.group)
+        self._send_ack(
+            arrival, src, message.source, message.group, "interest", message.seq
+        )
+        if entry is None:
+            return
+        table = entry.interests.setdefault(arrival.vif, {})
+        known = table.get(src)
+        if known is not None and known[1] >= message.seq:
+            return
+        table[src] = (message.interested, message.seq)
+        self._log(
+            f"interest vif={arrival.vif} {src} interested={message.interested} "
+            f"g={message.group}"
+        )
+        self._reevaluate(entry)
+
+    def _recv_ack(
+        self, arrival: Interface, src: IPv4Address, message: HpimAck
+    ) -> None:
+        key = (arrival.vif, message.kind, message.source, message.group)
+        pending = self._pending.get(key)
+        if pending is None or pending.message.seq != message.seq:
+            return
+        pending.waiting.discard(src)
+        if not pending.waiting:
+            del self._pending[key]
+            if not self._pending and self._rtx_ticker is not None:
+                self._rtx_ticker.stop()
+                self._rtx_ticker = None
+
+    def _send_ack(
+        self,
+        arrival: Interface,
+        dst: IPv4Address,
+        source: IPv4Address,
+        group: IPv4Address,
+        kind: str,
+        seq: int,
+    ) -> None:
+        if not arrival.up:
+            return
+        self.stats.acks_sent += 1
+        arrival.send(
+            IPDatagram(
+                src=arrival.address,
+                dst=dst,
+                proto=PROTO_HPIM,
+                payload=HpimAck(source=source, group=group, kind=kind, seq=seq),
+                ttl=1,
+            ),
+            link_dst=dst,
+        )
+
+    # -- reliable advertisement ------------------------------------------
+
+    def _advertise(
+        self,
+        entry: TreeEntry,
+        vif: int,
+        kind: str,
+        message,
+        only: Optional[Set[IPv4Address]] = None,
+    ) -> None:
+        interface = self._interface(vif)
+        if interface is None or not interface.up:
+            return
+        audience = self._live_neighbours(vif)
+        if only is not None:
+            audience &= only
+        key = (vif, kind, entry.source, entry.group)
+        previous = self._pending.get(key)
+        if previous is not None:
+            # A newer advertisement supersedes the old message, but the
+            # old audience still owes us an ack for the *current* state:
+            # carry the still-live laggards into the new pending set so
+            # a targeted re-sync (only=) cannot silently drop them.
+            audience |= previous.waiting & self._live_neighbours(vif)
+        if not audience:
+            self._pending.pop(key, None)
+            return  # loner link: nothing to synchronise with
+        if kind == "assert":
+            self.stats.asserts_sent += 1
+        else:
+            self.stats.interests_sent += 1
+        self._pending[key] = _Pending(
+            message=message, vif=vif, waiting=set(audience)
+        )
+        self._arm_rtx()
+        interface.send(
+            IPDatagram(
+                src=interface.address,
+                dst=ALL_HPIM_ROUTERS,
+                proto=PROTO_HPIM,
+                payload=message,
+                ttl=1,
+            )
+        )
+
+    def _advertise_assert(
+        self,
+        entry: TreeEntry,
+        vif: int,
+        metric: float,
+        only: Optional[Set[IPv4Address]] = None,
+    ) -> None:
+        entry.my_assert[vif] = metric
+        self._log(f"advertise-assert vif={vif} metric={metric} g={entry.group}")
+        self._advertise(
+            entry,
+            vif,
+            "assert",
+            HpimAssert(
+                source=entry.source,
+                group=entry.group,
+                metric=metric,
+                seq=self._next_seq(),
+            ),
+            only=only,
+        )
+
+    def _advertise_interest(
+        self,
+        entry: TreeEntry,
+        vif: int,
+        interested: bool,
+        only: Optional[Set[IPv4Address]] = None,
+    ) -> None:
+        entry.my_interest[vif] = interested
+        self._log(
+            f"advertise-interest vif={vif} interested={interested} g={entry.group}"
+        )
+        self._advertise(
+            entry,
+            vif,
+            "interest",
+            HpimInterest(
+                source=entry.source,
+                group=entry.group,
+                interested=interested,
+                seq=self._next_seq(),
+            ),
+            only=only,
+        )
+
+    def _arm_rtx(self) -> None:
+        if self._rtx_ticker is None:
+            self._rtx_ticker = PeriodicTimer(
+                self.router.scheduler, self.rtx_interval, self._retransmit
+            )
+            self._rtx_ticker.start()
+
+    def _retransmit(self) -> None:
+        """Resend every unacked advertisement to its surviving audience."""
+        for key in sorted(self._pending, key=str):
+            pending = self._pending.get(key)
+            if pending is None:
+                continue
+            pending.waiting &= self._live_neighbours(pending.vif)
+            if not pending.waiting:
+                del self._pending[key]
+                continue
+            interface = self._interface(pending.vif)
+            if interface is None or not interface.up:
+                continue  # audience will age out via the hold time
+            self.stats.retransmissions += 1
+            self._log(f"retransmit vif={pending.vif} {key[1]} g={key[3]}")
+            interface.send(
+                IPDatagram(
+                    src=interface.address,
+                    dst=ALL_HPIM_ROUTERS,
+                    proto=PROTO_HPIM,
+                    payload=pending.message,
+                    ttl=1,
+                )
+            )
+        if not self._pending and self._rtx_ticker is not None:
+            self._rtx_ticker.stop()
+            self._rtx_ticker = None
+
+    # -- election + interest evaluation ----------------------------------
+
+    def _rpf_vif(self, source: IPv4Address) -> Optional[int]:
+        route = self.router.best_route(source)
+        return route.interface.vif if route is not None else None
+
+    def _route_metric(self, source: IPv4Address) -> float:
+        route = self.router.best_route(source)
+        return route.metric if route is not None else INFINITE_METRIC
+
+    def election_winner(
+        self, entry: TreeEntry, vif: int
+    ) -> Optional[IPv4Address]:
+        """Best (metric, address) claim on the link, ours included."""
+        interface = self._interface(vif)
+        candidates: List[Tuple[float, IPv4Address]] = [
+            (metric, addr)
+            for addr, (metric, _seq) in entry.claims.get(vif, {}).items()
+            if metric < INFINITE_METRIC
+        ]
+        my_metric = entry.my_assert.get(vif, INFINITE_METRIC)
+        if (
+            interface is not None
+            and interface.up
+            and my_metric < INFINITE_METRIC
+        ):
+            candidates.append((my_metric, interface.address))
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def i_am_winner(self, entry: TreeEntry, vif: int) -> bool:
+        interface = self._interface(vif)
+        return (
+            interface is not None
+            and self.election_winner(entry, vif) == interface.address
+        )
+
+    def _link_wants_data(self, entry: TreeEntry, vif: int) -> bool:
+        """Dense-mode forwarding predicate for a downstream link."""
+        interface = self._interface(vif)
+        if interface is None or not interface.up:
+            return False
+        if self.igmp.database.has_members(interface, entry.group):
+            return True
+        interested = entry.interests.get(vif, {})
+        claims = entry.claims.get(vif, {})
+        for addr in self._live_neighbours(vif):
+            known = interested.get(addr)
+            if known is not None:
+                if known[0]:
+                    return True
+                continue  # explicit NoInterest: hard prune
+            claim = claims.get(addr)
+            if claim is not None and claim[0] < INFINITE_METRIC:
+                # A co-upstream candidate (it asserted a finite metric)
+                # pulls data via its own upstream, never from us; only
+                # an explicit Interest from it counts.
+                continue
+            # Flood-first with hard state: a downstream router that has
+            # not yet said NoInterest still gets data.
+            return True
+        return False
+
+    def _reevaluate(self, entry: TreeEntry) -> None:
+        """Recompute upstream, per-link role, and interest; advertise
+        only the diffs (this is the no-re-flood property: quiescent
+        state advertises nothing)."""
+        upstream = self._rpf_vif(entry.source)
+        if upstream != entry.upstream_vif:
+            self._log(
+                f"upstream-move {entry.upstream_vif}->{upstream} g={entry.group}"
+            )
+            entry.upstream_vif = upstream
+        metric = self._route_metric(entry.source)
+        for interface in self.router.interfaces:
+            vif = interface.vif
+            local_source = interface.on_same_network(entry.source)
+            if vif == upstream or local_source or not interface.up:
+                desired_assert = INFINITE_METRIC
+            else:
+                desired_assert = metric
+            if entry.my_assert.get(vif, INFINITE_METRIC) != desired_assert:
+                self._advertise_assert(entry, vif, desired_assert)
+            if vif == upstream and not local_source:
+                desired_interest = self._my_interest(entry)
+            else:
+                desired_interest = False
+            previous = entry.my_interest.get(vif)
+            if previous is None and desired_interest is False and vif != upstream:
+                continue  # never advertised on a downstream link: stay silent
+            if previous != desired_interest:
+                self._advertise_interest(entry, vif, desired_interest)
+
+    def _my_interest(self, entry: TreeEntry) -> bool:
+        """Do we need data from upstream?  Yes when any downstream link
+        we win (or any attached member) wants it."""
+        for interface in self.router.interfaces:
+            vif = interface.vif
+            if vif == entry.upstream_vif or not interface.up:
+                continue
+            if self.igmp.database.has_members(interface, entry.group):
+                return True
+            if self.i_am_winner(entry, vif) and self._link_wants_data(entry, vif):
+                return True  # winner of a link whose downstream wants data
+        return False
+
+    # -- entry management -------------------------------------------------
+
+    def _entry_for(
+        self, source: IPv4Address, group: IPv4Address
+    ) -> Optional[TreeEntry]:
+        key = (source, group)
+        entry = self.entries.get(key)
+        if entry is None:
+            upstream = self._rpf_vif(source)
+            if upstream is None:
+                return None
+            entry = TreeEntry(source=source, group=group, upstream_vif=upstream)
+            self.entries[key] = entry
+            self._log(f"entry-create s={source} g={group}")
+            self._reevaluate(entry)
+        return entry
+
+    def _on_membership_change(
+        self, interface: Interface, group: IPv4Address, present: bool
+    ) -> None:
+        for entry in list(self.entries.values()):
+            if entry.group == group:
+                self._log(
+                    f"membership vif={interface.vif} present={present} g={group}"
+                )
+                self._reevaluate(entry)
+
+    # -- data plane --------------------------------------------------------
+
+    def forward_multicast(
+        self, router: Router, arrival: Interface, datagram: IPDatagram
+    ) -> None:
+        if datagram.proto in (PROTO_IGMP, PROTO_HPIM):
+            return
+        source = datagram.src
+        group = datagram.dst
+        local_origin = arrival.on_same_network(source)
+        entry = self._entry_for(source, group)
+        if entry is None:
+            return
+        if not local_origin:
+            if entry.upstream_vif != arrival.vif:
+                self.stats.rpf_drops += 1
+                return
+            # On a shared upstream LAN only the elected winner's copy
+            # is ours to forward; we accept regardless (the winner is
+            # upstream of us by construction) but a LAN we *lost*
+            # downstream must not see our copy — handled below by the
+            # winner check per egress link.
+            if datagram.ttl <= 1:
+                return
+            datagram = datagram.decremented()
+        for interface in self.router.interfaces:
+            vif = interface.vif
+            if vif == arrival.vif or not interface.up:
+                continue
+            if not self.i_am_winner(entry, vif):
+                continue  # another router won this link's election
+            if not self._link_wants_data(entry, vif):
+                if self._live_neighbours(vif):
+                    self.stats.uninterested_drops += 1
+                continue  # hard-pruned link or silent leaf LAN
+            self.stats.data_forwards += 1
+            interface.send(datagram)
+
+
+class HPIMDMDomain:
+    """A Network (or a named subset) running hard-state dense mode."""
+
+    def __init__(
+        self,
+        network: Network,
+        hello_interval: float = DEFAULT_HELLO_INTERVAL,
+        neighbour_hold: float = DEFAULT_NEIGHBOUR_HOLD,
+        rtx_interval: float = DEFAULT_RTX_INTERVAL,
+        igmp_config: Optional[IGMPConfig] = None,
+        routers: Optional[Sequence[str]] = None,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.network = network
+        router_names = list(routers) if routers is not None else list(network.routers)
+        host_names = list(hosts) if hosts is not None else list(network.hosts)
+        self.protocols: Dict[str, HPIMDMProtocol] = {
+            name: HPIMDMProtocol(
+                network.routers[name],
+                hello_interval=hello_interval,
+                neighbour_hold=neighbour_hold,
+                rtx_interval=rtx_interval,
+                igmp_config=igmp_config,
+            )
+            for name in router_names
+        }
+        self.host_agents: Dict[str, IGMPHostAgent] = {
+            name: IGMPHostAgent(network.hosts[name]) for name in host_names
+        }
+
+    def start(self) -> None:
+        for protocol in self.protocols.values():
+            protocol.start()
+
+    def protocol(self, name: str) -> HPIMDMProtocol:
+        return self.protocols[name]
+
+    def join_host(self, host_name: str, group: IPv4Address) -> None:
+        self.host_agents[host_name].join(group)
+
+    def leave_host(self, host_name: str, group: IPv4Address) -> None:
+        self.host_agents[host_name].leave(group)
+
+    def total_state(self) -> int:
+        return sum(p.state_size() for p in self.protocols.values())
+
+    def routers_with_state(self) -> int:
+        return sum(1 for p in self.protocols.values() if p.entries)
+
+    def control_messages(self) -> int:
+        return sum(p.stats.control_messages() for p in self.protocols.values())
+
+    def hello_messages(self) -> int:
+        return sum(p.stats.hellos_sent for p in self.protocols.values())
+
+    def data_forwards(self) -> int:
+        return sum(p.stats.data_forwards for p in self.protocols.values())
+
+    def events_total(self) -> int:
+        """Length of all state-change logs; the quiescence counter."""
+        return sum(len(p.events) for p in self.protocols.values())
+
+    def pending_total(self) -> int:
+        """Unacked advertisements across the domain (0 when synchronised)."""
+        return sum(len(p._pending) for p in self.protocols.values())
+
+    # -- election census ---------------------------------------------------
+
+    def _link_vifs(self) -> Dict[str, List[Tuple[str, int]]]:
+        """link name -> [(router name, vif)] for attached domain routers."""
+        out: Dict[str, List[Tuple[str, int]]] = {}
+        for link_name in sorted(self.network.links):
+            link = self.network.links[link_name]
+            attached = []
+            for interface in link.interfaces:
+                name = interface.node.name
+                if name in self.protocols:
+                    attached.append((name, interface.vif))
+            if attached:
+                out[link_name] = attached
+        return out
+
+    def upstream_winners(
+        self, source: IPv4Address, group: IPv4Address
+    ) -> Dict[str, List[str]]:
+        """link name -> routers that believe they won the (S, G) link."""
+        winners: Dict[str, List[str]] = {}
+        for link_name, attached in self._link_vifs().items():
+            claimants = []
+            for name, vif in attached:
+                protocol = self.protocols[name]
+                entry = protocol.entries.get((source, group))
+                if entry is None:
+                    continue
+                if entry.upstream_vif == vif:
+                    continue  # downstream role on this link
+                if protocol.i_am_winner(entry, vif):
+                    claimants.append(name)
+            winners[link_name] = sorted(claimants)
+        return winners
+
+    def election_findings(self) -> List[str]:
+        """Election-convergence oracle: every link that some router
+        treats as its (S, G) upstream must have exactly one router
+        believing it won that link — unless the source itself lives on
+        the link (data enters directly) or the link lost all its
+        upstream-capable routers (an isolated fragment has no winner to
+        elect).  Also flags any dead neighbour still holding claims."""
+        findings: List[str] = []
+        keys = sorted(
+            {key for p in self.protocols.values() for key in p.entries},
+            key=lambda k: (str(k[0]), str(k[1])),
+        )
+        link_vifs = self._link_vifs()
+        for source, group in keys:
+            winners = self.upstream_winners(source, group)
+            for link_name, attached in link_vifs.items():
+                link = self.network.links[link_name]
+                if any(
+                    interface.on_same_network(source)
+                    for interface in link.interfaces
+                ):
+                    continue  # source LAN: no winner needed
+                downstream = [
+                    name
+                    for name, vif in attached
+                    if (entry := self.protocols[name].entries.get((source, group)))
+                    is not None
+                    and entry.upstream_vif == vif
+                    and any(i.up for i in self.protocols[name].router.interfaces)
+                ]
+                if not downstream:
+                    continue
+                claimants = winners[link_name]
+                capable = [
+                    name
+                    for name, vif in attached
+                    if name not in downstream
+                    and self.protocols[name].entries.get((source, group))
+                    is not None
+                ]
+                if len(claimants) > 1:
+                    findings.append(
+                        f"link {link_name} (s={source}, g={group}): "
+                        f"{len(claimants)} routers claim the election: "
+                        f"{', '.join(claimants)}"
+                    )
+                elif not claimants and capable:
+                    findings.append(
+                        f"link {link_name} (s={source}, g={group}): no "
+                        f"elected upstream despite capable routers "
+                        f"{', '.join(sorted(capable))}"
+                    )
+        for name in sorted(self.protocols):
+            protocol = self.protocols[name]
+            for vif, table in sorted(protocol.neighbours.items()):
+                live = protocol._live_neighbours(vif)
+                for entry in protocol.entries.values():
+                    for addr in entry.claims.get(vif, {}):
+                        if addr not in live and addr in table:
+                            findings.append(
+                                f"{name}: stale claim from silent "
+                                f"neighbour {addr} on vif {vif}"
+                            )
+        return findings
+
+
+def iter_messages() -> Iterable[type]:
+    """The control-message classes (telemetry label registration)."""
+    return (HpimHello, HpimAssert, HpimInterest, HpimAck)

@@ -51,6 +51,7 @@ EXPERIMENTS = [
     ("E18", "bench_legacy_join.py", "draft-02 vs draft-03 join procedure"),
     ("E19", "bench_core_migration.py", "core migration: locality handover"),
     ("E20", "bench_flash_crowd.py", "bootcast flash crowd on the n=1000 bulk topology"),
+    ("E21", "bench_baseline_grid.py", "CBT vs DVMRP vs MOSPF vs HPIM-DM grid"),
 ]
 
 

@@ -230,6 +230,8 @@ class _Controller:
         limit: int,
         visited: Optional[Dict[str, int]],
         check_loops: bool,
+        transition_fn: Optional[Callable] = None,
+        fingerprint_fn: Optional[Callable] = None,
     ) -> None:
         self.world = world
         self.options = options
@@ -237,6 +239,8 @@ class _Controller:
         self.limit = limit
         self.visited = visited
         self.check_loops = check_loops
+        self.transition_fn = transition_fn
+        self.fingerprint_fn = fingerprint_fn
         self.decisions: List[Decision] = []
         self.fingerprints: List[str] = []
         self.narrative: List[str] = []
@@ -254,7 +258,10 @@ class _Controller:
         window end — where reaching a known state cuts nothing, so it
         is recorded but not counted as a prune)."""
         domain = self.world.domain
-        findings = transition_findings(domain, check_loops=self.check_loops)
+        if self.transition_fn is not None:
+            findings = self.transition_fn(self.world)
+        else:
+            findings = transition_findings(domain, check_loops=self.check_loops)
         now = domain.network.scheduler.now
         if findings:
             raise _ViolationSignal(
@@ -264,7 +271,10 @@ class _Controller:
                     findings=[str(finding) for finding in findings],
                 )
             )
-        fingerprint = domain_fingerprint(domain)
+        if self.fingerprint_fn is not None:
+            fingerprint = self.fingerprint_fn(self.world)
+        else:
+            fingerprint = domain_fingerprint(domain)
         self.fingerprints.append(fingerprint)
         if self.visited is None or self.frozen:
             return
@@ -410,6 +420,8 @@ def run_schedule(
         limit=limit,
         visited=visited,
         check_loops=options.check_loops and scenario.check_loops,
+        transition_fn=getattr(scenario, "transition_oracle", None),
+        fingerprint_fn=getattr(scenario, "state_fingerprint", None),
     )
     scheduler.choice_hook = controller.scheduler_choice
     for link in network.links.values():
@@ -431,12 +443,16 @@ def run_schedule(
             link.gate = None
     if violation is None:
         network.run(until=start + scenario.window + scenario.settle)
-        findings = [
-            str(finding)
-            for finding in convergence_findings(
-                world.domain, world.group, world.members
-            )
-        ]
+        convergence = getattr(scenario, "convergence_oracle", None)
+        if convergence is not None:
+            findings = [str(finding) for finding in convergence(world)]
+        else:
+            findings = [
+                str(finding)
+                for finding in convergence_findings(
+                    world.domain, world.group, world.members
+                )
+            ]
         if scenario.extra_oracle is not None:
             findings.extend(scenario.extra_oracle(world))
         if findings:

@@ -97,3 +97,81 @@ def domain_fingerprint(domain) -> str:
     parts.append(inflight_state(domain.network.scheduler))
     digest = hashlib.sha1(repr(parts).encode()).hexdigest()
     return digest[:16]
+
+
+def hpim_protocol_state(name: str, protocol) -> Tuple:
+    """Canonical tuple of one HPIM-DM router's hard state.
+
+    Sequence numbers and timestamps are excluded: two states differing
+    only in seq counters or ``last_seen`` stamps make identical
+    protocol decisions from here on (seqs only order/dedup messages),
+    so folding them together is exactly the kind of equivalence the
+    pruning heuristic wants.  Unacked advertisements are included by
+    content and audience — a pending retransmission *does* change the
+    continuation.
+    """
+    entry_part = tuple(
+        (
+            str(entry.source),
+            str(entry.group),
+            entry.upstream_vif,
+            tuple(
+                (vif, tuple(sorted((str(a), m) for a, (m, _s) in table.items())))
+                for vif, table in sorted(entry.claims.items())
+            ),
+            tuple(
+                (vif, tuple(sorted((str(a), i) for a, (i, _s) in table.items())))
+                for vif, table in sorted(entry.interests.items())
+            ),
+            tuple(sorted(entry.my_assert.items())),
+            tuple(sorted(entry.my_interest.items())),
+        )
+        for _key, entry in sorted(
+            protocol.entries.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+        )
+    )
+    neighbour_part = tuple(
+        (vif, tuple(sorted(str(addr) for addr in table)))
+        for vif, table in sorted(protocol.neighbours.items())
+    )
+    pending_part = tuple(
+        sorted(
+            (
+                vif,
+                kind,
+                str(source),
+                str(group),
+                type(pending.message).__name__,
+                getattr(pending.message, "metric", None),
+                getattr(pending.message, "interested", None),
+                tuple(sorted(str(addr) for addr in pending.waiting)),
+            )
+            for (vif, kind, source, group), pending in protocol._pending.items()
+        )
+    )
+    igmp_part = tuple(
+        (
+            interface.vif,
+            interface.up,
+            tuple(
+                sorted(
+                    str(group)
+                    for group in protocol.igmp.database.groups_on(interface)
+                )
+            ),
+        )
+        for interface in protocol.router.interfaces
+    )
+    return (name, entry_part, neighbour_part, pending_part, igmp_part)
+
+
+def hpim_domain_fingerprint(domain) -> str:
+    """Stable hash of an ``HPIMDMDomain``'s protocol-visible state,
+    in-flight tagged deliveries included (same convention as
+    :func:`domain_fingerprint`)."""
+    parts: List[Tuple] = [
+        hpim_protocol_state(name, domain.protocols[name])
+        for name in sorted(domain.protocols)
+    ]
+    parts.append(inflight_state(domain.network.scheduler))
+    return hashlib.sha1(repr(parts).encode()).hexdigest()[:16]

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from ipaddress import IPv4Address
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.baselines.hpimdm import HPIMDMDomain
 from repro.core.bootstrap import CBTDomain
 from repro.harness.scenarios import FAST_IGMP, FAST_TIMERS, SETTLE_TIME
 from repro.netsim.address import group_address
@@ -30,7 +31,7 @@ class ExploreWorld:
     """One freshly built simulation ready for a controlled window."""
 
     network: Network
-    domain: CBTDomain
+    domain: Union[CBTDomain, HPIMDMDomain]
     group: IPv4Address
     #: Hosts expected to be served members once everything settles.
     members: List[str]
@@ -60,6 +61,19 @@ class ExploreScenario:
     check_loops: bool = True
     #: Extra end-state findings (strings), mainly for tests.
     extra_oracle: Optional[Callable[[ExploreWorld], List[str]]] = None
+    #: Delivery types never worth branching (None = engine default,
+    #: tuned for CBT keepalives).
+    quiet_types: Optional[Tuple[str, ...]] = None
+    #: Per-transition hard-invariant oracle (None = the CBT
+    #: :func:`repro.explore.oracle.transition_findings`).  Receives the
+    #: world, returns finding strings; any finding aborts the run.
+    transition_oracle: Optional[Callable[[ExploreWorld], List[str]]] = None
+    #: End-state oracle replacing the CBT convergence sweep (None = the
+    #: CBT :func:`repro.explore.oracle.convergence_findings`).
+    convergence_oracle: Optional[Callable[[ExploreWorld], List[str]]] = None
+    #: State fingerprint for pruning (None = the CBT
+    #: :func:`repro.explore.fingerprint.domain_fingerprint`).
+    state_fingerprint: Optional[Callable[[ExploreWorld], str]] = None
 
 
 def _stand_up(pre_members: List[str]) -> Tuple[Network, CBTDomain, IPv4Address]:
@@ -176,6 +190,131 @@ def _flap_join_faults(
     ]
 
 
+# -- HPIM-DM election scenario (the hard-state comparator's smoke
+# -- validation: same explorer, protocol-specific oracles) -------------------
+
+
+def _hpim_join(domain: HPIMDMDomain, member: str, group: IPv4Address):
+    return lambda: domain.join_host(member, group)
+
+
+def _hpim_send(network: Network, host_name: str, group: IPv4Address):
+    def send() -> None:
+        from repro.netsim.packet import IPDatagram, PROTO_UDP, UDPDatagram
+
+        host = network.host(host_name)
+        host.originate(
+            IPDatagram(
+                src=host.interface.address,
+                dst=group,
+                proto=PROTO_UDP,
+                payload=UDPDatagram(sport=40000, dport=5000, payload=b"x" * 32),
+                ttl=64,
+            )
+        )
+
+    return send
+
+
+def _build_hpimdm_elections() -> ExploreWorld:
+    # B's first data packet (from the multi-router LAN S4, so R2/R5/R6
+    # all see it) creates the (S, G) entries and kicks off the assert
+    # elections the explorer then perturbs: G and H join concurrently,
+    # so interest propagation races the elections themselves.  A is
+    # pre-joined outside the window for a stable baseline branch.
+    network = build_figure1()
+    domain = HPIMDMDomain(
+        network,
+        hello_interval=1.0,
+        neighbour_hold=3.5,
+        rtx_interval=0.5,
+        igmp_config=FAST_IGMP,
+    )
+    domain.start()
+    network.run(until=SETTLE_TIME)
+    group = group_address(0)
+    domain.join_host("A", group)
+    network.run(until=network.scheduler.now + 2.0)
+    actions = [
+        (0.0, _hpim_join(domain, "G", group)),
+        (0.0, _hpim_join(domain, "H", group)),
+        (0.2, _hpim_send(network, "B", group)),
+    ]
+    return ExploreWorld(network, domain, group, ["A", "G", "H"], actions)
+
+
+def _hpim_transition(world: ExploreWorld) -> List[str]:
+    """Hard HPIM-DM invariants, valid even mid-election: a router never
+    synchronises state with itself, and an unacked advertisement must
+    have a live retransmit ticker driving it (the hard-state analogue
+    of CBT's stale quit-retry class)."""
+    findings: List[str] = []
+    for name in sorted(world.domain.protocols):
+        protocol = world.domain.protocols[name]
+        own = {interface.address for interface in protocol.router.interfaces}
+        for vif, table in sorted(protocol.neighbours.items()):
+            for addr in sorted(own & set(table), key=str):
+                findings.append(
+                    f"{name}: lists itself ({addr}) as a neighbour on vif {vif}"
+                )
+        for entry in protocol.entries.values():
+            for vif, table in sorted(entry.claims.items()):
+                for addr in sorted(own & set(table), key=str):
+                    findings.append(
+                        f"{name}: stores its own assert claim ({addr}) "
+                        f"g={entry.group}"
+                    )
+            for vif, table in sorted(entry.interests.items()):
+                for addr in sorted(own & set(table), key=str):
+                    findings.append(
+                        f"{name}: stores its own interest ({addr}) "
+                        f"g={entry.group}"
+                    )
+        if protocol._pending and protocol._rtx_ticker is None:
+            findings.append(
+                f"{name}: unacked advertisements with no retransmit ticker"
+            )
+    return findings
+
+
+def _hpim_convergence(world: ExploreWorld) -> List[str]:
+    """End-state oracle: elections converged (exactly one upstream
+    winner per link), all advertisements acknowledged, and a fresh
+    probe from the source delivered exactly once to every member —
+    the same deliverability goal state the CBT sweep checks by
+    walking child pointers, here measured in the data plane because
+    HPIM-DM's tree *is* its per-link election outcome."""
+    domain = world.domain
+    network = world.network
+    findings = [str(finding) for finding in domain.election_findings()]
+    pending = domain.pending_total()
+    if pending:
+        findings.append(
+            f"{pending} advertisements still unacknowledged after settle"
+        )
+    from repro.harness.scenarios import send_data
+
+    uids = set(send_data(network, "B", world.group, count=2, spacing=0.05))
+    for member in sorted(world.members):
+        got = sum(
+            1
+            for datagram in network.host(member).delivered
+            if datagram.uid in uids
+        )
+        if got != len(uids):
+            findings.append(
+                f"member {member} received {got}/{len(uids)} probe packets "
+                f"(loss or duplicate delivery after election convergence)"
+            )
+    return findings
+
+
+def _hpim_fingerprint(world: ExploreWorld) -> str:
+    from repro.explore.fingerprint import hpim_domain_fingerprint
+
+    return hpim_domain_fingerprint(world.domain)
+
+
 #: Registry consulted by the CLI and by schedule replay.
 SCENARIOS: Dict[str, ExploreScenario] = {
     scenario.name: scenario
@@ -257,6 +396,35 @@ SCENARIOS: Dict[str, ExploreScenario] = {
             ),
             check_loops=False,
         ),
+        ExploreScenario(
+            name="hpimdm-elections",
+            description=(
+                "HPIM-DM comparator smoke: G and H join while B's "
+                "first data packet (on the multi-router LAN S4) "
+                "triggers the per-link assert elections; explores "
+                "delivery order and loss of the sequence-numbered "
+                "Assert/Interest/Ack handshakes and checks election "
+                "convergence, full acknowledgement, and exactly-once "
+                "probe delivery."
+            ),
+            build=_build_hpimdm_elections,
+            window=4.0,
+            settle=8.0,
+            gate_types=("HpimAssert", "HpimInterest", "HpimAck"),
+            check_loops=False,
+            # Hellos and the IGMP chatter around the joins are not what
+            # this scenario branches on: the budget goes to the
+            # election handshakes.
+            quiet_types=(
+                "HpimHello",
+                "MembershipQuery",
+                "MembershipReport",
+                "Leave",
+            ),
+            transition_oracle=_hpim_transition,
+            convergence_oracle=_hpim_convergence,
+            state_fingerprint=_hpim_fingerprint,
+        ),
     )
 }
 
@@ -271,9 +439,11 @@ def get_scenario(name: str) -> ExploreScenario:
 
 def scenario_options(scenario: ExploreScenario, **overrides):
     """Build :class:`~repro.explore.engine.ExploreOptions` seeded with
-    the scenario's gate types; ``overrides`` win."""
+    the scenario's gate and quiet types; ``overrides`` win."""
     from repro.explore.engine import ExploreOptions
 
     if scenario.gate_types is not None:
         overrides.setdefault("gate_types", scenario.gate_types)
+    if scenario.quiet_types is not None:
+        overrides.setdefault("quiet_types", scenario.quiet_types)
     return ExploreOptions(**overrides)

@@ -61,6 +61,7 @@ REPO_ROOT = os.path.dirname(
 #: sim-time and paired-ratio quantities only — see docs/PERFORMANCE.md).
 DEFAULT_TIMEOUTS: Dict[str, float] = {
     "chaos": 120.0,
+    "baseline-compare": 600.0,
     "explore": 600.0,
     "explore-frontier": 900.0,
     "explore-deep": 900.0,
@@ -210,6 +211,45 @@ def _execute_chaos(params: Dict[str, object]) -> Dict[str, object]:
     return {
         "status": "ok" if ok else "failed",
         "fingerprint": stable_digest("chaos", result.fingerprint()),
+        "detail": detail,
+        "metrics": metrics,
+    }
+
+
+def _execute_baseline_compare(params: Dict[str, object]) -> Dict[str, object]:
+    """One CBT-vs-DVMRP-vs-HPIM-DM cell under an identical fault
+    schedule (see ``repro.harness.baseline_cell``).  The fingerprint
+    covers the shared schedule digest and every protocol's outcome
+    tuple, so the workers=1 vs workers=8 byte-identity audit also
+    proves the three legs replayed the very same faults."""
+    from repro.harness.baseline_cell import run_baseline_compare_cell
+
+    result = run_baseline_compare_cell(
+        str(params["scenario"]),
+        topology=str(params["topology"]),
+        seed=int(params["seed"]),
+    )
+    detail = [] if result.ok else [
+        f"{o.protocol}: recovered={o.recovered} "
+        + "; ".join(o.findings[:5])
+        for o in result.outcomes
+        if not o.recovered or o.findings
+    ]
+    metrics: Dict[str, float] = {
+        "ci.baseline.cells": 1,
+        "ci.baseline.clean": 1 if result.ok else 0,
+    }
+    for outcome in result.outcomes:
+        if outcome.recovered:
+            metrics[f"ci.baseline.{outcome.protocol}.recovery_time"] = (
+                outcome.recovery_time
+            )
+        metrics[f"ci.baseline.{outcome.protocol}.control_cost"] = (
+            outcome.control_cost
+        )
+    return {
+        "status": "ok" if result.ok else "failed",
+        "fingerprint": stable_digest("baseline-compare", result.fingerprint()),
         "detail": detail,
         "metrics": metrics,
     }
@@ -552,6 +592,7 @@ def _execute_lint(params: Dict[str, object]) -> Dict[str, object]:
 #: Coverage floors enforced by the ``coverage`` unit, as documented in
 #: docs/TESTING.md and gated by the tier1 CI job.
 COVERAGE_FLOORS: Dict[str, float] = {
+    "src/repro/baselines": 85.0,
     "src/repro/core": 85.0,
     "src/repro/explore": 80.0,
     "src/repro/telemetry": 85.0,
@@ -678,6 +719,7 @@ def _execute_shard(params: Dict[str, object]) -> Dict[str, object]:
 
 EXECUTORS: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
     "chaos": _execute_chaos,
+    "baseline-compare": _execute_baseline_compare,
     "migration": _execute_migration,
     "workload": _execute_workload,
     "explore": _execute_explore,

@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.bootstrap import CBTDomain
 from repro.core.timers import CBTTimers
 from repro.baselines.dvmrp import DVMRPDomain
+from repro.baselines.hpimdm import HPIMDMDomain
 from repro.igmp.router_side import IGMPConfig
 from repro.netsim.address import group_address
 from repro.topology.builder import Network
@@ -114,6 +115,48 @@ def build_dvmrp_group(
 
 
 def _make_dvmrp_join(domain: DVMRPDomain, member: str, group: IPv4Address):
+    return lambda: domain.join_host(member, group)
+
+
+def build_hpimdm_group(
+    network: Network,
+    members: Sequence[str],
+    group: Optional[IPv4Address] = None,
+    hello_interval: float = 1.0,
+    neighbour_hold: float = 3.5,
+    rtx_interval: float = 0.5,
+    settle_time: float = SETTLE_TIME,
+    domain: Optional[HPIMDMDomain] = None,
+) -> Tuple[HPIMDMDomain, IPv4Address]:
+    """Stand up a hard-state HPIM-DM domain and join ``members``.
+
+    The default timers are scenario-fast (1 s hellos) so neighbour
+    discovery completes inside the standard settle window; tree state
+    itself is hard and never expires, so no further scaling is needed.
+    """
+    if group is None:
+        group = group_address(0)
+    if domain is None:
+        domain = HPIMDMDomain(
+            network,
+            hello_interval=hello_interval,
+            neighbour_hold=neighbour_hold,
+            rtx_interval=rtx_interval,
+            igmp_config=FAST_IGMP,
+        )
+        domain.start()
+        settle(network, until=settle_time)
+    start = network.scheduler.now
+    for offset, member in enumerate(members):
+        network.scheduler.call_at(
+            start + offset * 0.05,
+            _make_hpimdm_join(domain, member, group),
+        )
+    network.run(until=start + len(members) * 0.05 + 2.0)
+    return domain, group
+
+
+def _make_hpimdm_join(domain: HPIMDMDomain, member: str, group: IPv4Address):
     return lambda: domain.join_host(member, group)
 
 

@@ -12,17 +12,22 @@ Tiers (see docs/CI.md for the full contract):
 
 ========  ==================================================================
 lint      ruff (or the built-in fallback) over src/tests/benchmarks/examples
-smoke     quick chaos cells + a bounded exploration + a fast pytest group
+smoke     quick chaos cells + the quick baseline-compare cells + a
+          bounded exploration + a fast pytest group
 chaos     the full chaos campaign, one unit per (topology, scenario, cell),
-          plus one core-migration experiment cell per topology, plus the
+          plus the quick baseline-compare cells (CBT vs DVMRP vs
+          HPIM-DM under identical fault schedules), plus one
+          core-migration experiment cell per topology, plus the
           production-workload cells (quick flash crowd on the n=1000
           bulk topology, Poisson and Pareto on/off churn on waxman16)
 explore   every explorer scenario at full depth, one unit per scenario
 tier1     the whole pytest suite in round-robin file groups + coverage floors
 bench     the perf-regression suite, one unit per benchmark module
 full      chaos + explore + tier1 + bench (quick) + lint
-nightly   full with deeper exploration, more chaos cells, full-size
-          benches and workload cells (160-client flash crowd), the
+nightly   full with deeper exploration, more chaos cells, the full
+          baseline-compare matrix (every replayable scenario × every
+          topology), full-size benches and workload cells (160-client
+          flash crowd), the
           sharded forward frontier (``explore-frontier`` cells, one per
           (scenario, shard)), and the budgeted backward search
           (``explore-deep`` cells, one per (scenario, predicate) with
@@ -126,6 +131,44 @@ def _chaos_quick_units(seed: int) -> List[WorkUnit]:
             },
         )
         for scenario in sorted(QUICK_SCENARIOS)
+    ]
+
+
+def _baseline_compare_units(seed: int, quick: bool = True) -> List[WorkUnit]:
+    """CBT vs DVMRP vs HPIM-DM cells under identical fault schedules.
+
+    Quick mode runs the two smoke cells on Figure 1; the nightly
+    matrix sweeps every replayable scenario across every topology.
+    Each cell's sub-seed is pinned at build time like every other
+    kind, so the merged fingerprint is worker-count independent.
+    """
+    from repro.harness.baseline_cell import (
+        BASELINE_SCENARIOS,
+        QUICK_BASELINE_CELLS,
+    )
+    from repro.harness.campaign import TOPOLOGIES
+
+    if quick:
+        cells = list(QUICK_BASELINE_CELLS)
+    else:
+        cells = [
+            (scenario, topology)
+            for topology in sorted(TOPOLOGIES)
+            for scenario in sorted(BASELINE_SCENARIOS)
+        ]
+    return [
+        WorkUnit.make(
+            "baseline-compare",
+            f"baseline-compare/{topology}/{scenario}/0",
+            {
+                "topology": topology,
+                "scenario": scenario,
+                "seed": derive_seed(
+                    seed, "baseline-compare", topology, scenario, 0
+                ),
+            },
+        )
+        for scenario, topology in cells
     ]
 
 
@@ -295,6 +338,7 @@ def build_tier(
     elif tier == "smoke":
         units = (
             _chaos_quick_units(seed)
+            + _baseline_compare_units(seed, quick=True)
             + [
                 WorkUnit.make(
                     "explore",
@@ -307,6 +351,7 @@ def build_tier(
     elif tier == "chaos":
         units = (
             _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+            + _baseline_compare_units(seed, quick=True)
             + _migration_units(seed)
             + _workload_units(seed, quick=True)
         )
@@ -320,6 +365,7 @@ def build_tier(
         units = (
             [_lint_unit()]
             + _chaos_units(seed, {"figure1": 3, "grid9": 2, "waxman16": 2})
+            + _baseline_compare_units(seed, quick=True)
             + _migration_units(seed)
             + _workload_units(seed, quick=True)
             + _explore_units(depth=4)
@@ -331,6 +377,7 @@ def build_tier(
         units = (
             [_lint_unit()]
             + _chaos_units(seed, {"figure1": 5, "grid9": 3, "waxman16": 3})
+            + _baseline_compare_units(seed, quick=False)
             + _migration_units(seed, reps=2)
             + _workload_units(seed, quick=False)
             + _explore_units(depth=5)

@@ -194,9 +194,12 @@ def igmp_conservation(registry: MetricsRegistry) -> List[str]:
 
 
 def fib_conservation(registry: MetricsRegistry, protocols: Dict) -> List[str]:
-    """Per router: FIB adds − removes == live entries."""
+    """Per router: FIB adds − removes == live entries (CBT protocols
+    only — comparator engines keep their own non-FIB state)."""
     violations = []
     for name, protocol in sorted(protocols.items()):
+        if not hasattr(protocol, "fib"):
+            continue
         adds = registry.value(f"cbt.router.{name}.fib_adds")
         removes = registry.value(f"cbt.router.{name}.fib_removes")
         live = len(protocol.fib)

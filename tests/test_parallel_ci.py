@@ -250,6 +250,23 @@ class TestWorkerCountDeterminism:
         assert merged_fingerprint(serial) == merged_fingerprint(parallel)
         assert merge_metrics(serial) == merge_metrics(parallel)
 
+    def test_baseline_compare_workers_1_vs_8_byte_identical(self):
+        """ISSUE-10 determinism audit: the CBT/DVMRP/HPIM-DM
+        comparison cells replay one derive_seed-pinned fault schedule
+        across all three protocol legs and merge to the byte-identical
+        fingerprint whatever the worker count."""
+        from repro.harness.tiers import _baseline_compare_units
+
+        units = _baseline_compare_units(0, quick=True)
+        assert {u.kind for u in units} == {"baseline-compare"}
+        serial = run_units(units, workers=1)
+        parallel = run_units(units, workers=8)
+        assert all(r.ok for r in serial), [
+            (r.unit_id, r.detail) for r in serial if not r.ok
+        ]
+        assert merged_fingerprint(serial) == merged_fingerprint(parallel)
+        assert merge_metrics(serial) == merge_metrics(parallel)
+
     def test_workload_workers_1_vs_8_byte_identical(self):
         """ISSUE-9 determinism audit: the production-workload cells
         (flash crowd on bulk1000, both churn processes) merge to the
@@ -330,6 +347,7 @@ class TestTiers:
             "pytest",
             "coverage",
             "bench",
+            "baseline-compare",
         }
 
 
